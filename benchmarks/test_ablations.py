@@ -1,0 +1,11 @@
+"""Benchmark: design-choice ablations (beyond the paper; DESIGN.md §5)."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(run_experiment):
+    report = run_experiment(ablations.run)
+    assert "ablation_timeout_percentile" in report.data
+    assert "ablation_adaptive_workers" in report.data
+    assert "ablation_slow_pool" in report.data
+    assert "ablation_preemption" in report.data

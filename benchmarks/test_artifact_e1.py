@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the artifact-appendix E1/E2 minimal reproduction."""
+
+from repro.experiments import artifact_e1
+
+
+def test_artifact_e1(run_experiment):
+    run_experiment(artifact_e1.run)

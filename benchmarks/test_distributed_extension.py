@@ -1,0 +1,8 @@
+"""Benchmark: multi-node data-parallel extension (paper §6 discussion)."""
+
+from repro.experiments import distributed
+
+
+def test_distributed(run_experiment):
+    report = run_experiment(distributed.run)
+    assert report.data["results"]

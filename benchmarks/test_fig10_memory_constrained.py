@@ -1,0 +1,8 @@
+"""Benchmark: regenerate paper Fig. 10 (memory-constrained training)."""
+
+from repro.experiments import fig10
+
+
+def test_fig10(run_experiment):
+    report = run_experiment(fig10.run)
+    assert report.data["dataset_gb"] > 150  # ~230 GB dataset

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Fig. 11a (accuracy preservation)."""
+
+from repro.experiments import fig11a
+
+
+def test_fig11a(run_experiment):
+    report = run_experiment(fig11a.run)
+    curves = report.data["curves"]
+    assert set(curves) == {"detection", "segmentation"}

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig. 11b/c (batch-composition analysis)."""
+
+from repro.experiments import fig11bc
+
+
+def test_fig11bc(run_experiment):
+    run_experiment(fig11bc.run)

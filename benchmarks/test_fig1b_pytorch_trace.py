@@ -1,0 +1,8 @@
+"""Benchmark: regenerate paper Fig. 1b (PyTorch CPU/GPU trace on 3D-UNet)."""
+
+from repro.experiments import fig1b
+
+
+def test_fig1b(run_experiment):
+    report = run_experiment(fig1b.run)
+    assert report.data["gpu_series"], "expected a GPU utilization time series"

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Fig. 2 (per-sample preprocessing variability)."""
+
+from repro.experiments import fig2
+
+
+def test_fig2(run_experiment):
+    report = run_experiment(fig2.run)
+    assert len(report.data["image_segmentation"]["sampled"]) == 25
+    assert len(report.data["object_detection"]["sampled"]) == 25

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig. 3 (size heuristic & AutoOrder reordering)."""
+
+from repro.experiments import fig3
+
+
+def test_fig3(run_experiment):
+    run_experiment(fig3.run)

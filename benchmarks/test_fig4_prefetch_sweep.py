@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Fig. 4 (prefetch parameter sweeps)."""
+
+from repro.experiments import fig4
+
+
+def test_fig4(run_experiment):
+    report = run_experiment(fig4.run)
+    assert set(report.data["pytorch"]) == set(fig4.PYTORCH_SWEEPS)
+    assert set(report.data["dali"]) == set(fig4.DALI_SWEEPS)

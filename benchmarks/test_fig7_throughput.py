@@ -1,0 +1,14 @@
+"""Benchmark: regenerate paper Fig. 7 (throughput of all loaders)."""
+
+from repro.experiments import fig7
+
+
+def test_fig7(run_experiment):
+    report = run_experiment(fig7.run)
+    results = report.data["results"]
+    assert set(results) == {
+        "image_segmentation",
+        "object_detection",
+        "speech_3s",
+        "speech_10s",
+    }

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper Fig. 8 (CPU/GPU usage for all systems)."""
+
+from repro.experiments import fig8
+
+
+def test_fig8(run_experiment):
+    run_experiment(fig8.run)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Fig. 9 (training time vs number of GPUs)."""
+
+from repro.experiments import fig9
+
+
+def test_fig9(run_experiment):
+    report = run_experiment(fig9.run)
+    # 4 workloads x 2 testbeds
+    assert len(report.data["results"]) == 8

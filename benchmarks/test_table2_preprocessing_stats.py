@@ -1,0 +1,14 @@
+"""Benchmark: regenerate paper Table 2 (preprocessing-time statistics)."""
+
+from repro.experiments import table2
+
+
+def test_table2(run_experiment):
+    report = run_experiment(table2.run)
+    measured = report.data["measured"]
+    assert set(measured) == {
+        "image_segmentation",
+        "object_detection",
+        "speech_3s",
+        "speech_10s",
+    }

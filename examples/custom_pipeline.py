@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Using MinatoLoader with a custom dataset and preprocessing pipeline.
+
+Shows the extension points a downstream user needs:
+
+* a custom :class:`~repro.data.dataset.Dataset`;
+* custom :class:`~repro.transforms.base.Transform` steps with cost models
+  (including a deliberately bimodal augmentation so the load balancer has
+  something to do);
+* strict-order mode (paper §6, curriculum learning) vs reordering mode;
+* reading the loader's profiler/scheduler statistics.
+
+Run:  python examples/custom_pipeline.py
+"""
+
+import numpy as np
+
+from repro.clock import ScaledClock
+from repro.core import MinatoConfig, MinatoLoader
+from repro.data.dataset import Dataset
+from repro.data.sample import Sample, SampleSpec
+from repro.transforms.base import Pipeline, PipelineState, SizeEffect, Transform, WorkContext
+
+
+class SensorDataset(Dataset):
+    """Synthetic multichannel sensor windows, some of them 'noisy'."""
+
+    def __init__(self, n=120, seed=0):
+        self._n = n
+        self._seed = seed
+
+    def __len__(self):
+        return self._n
+
+    def spec(self, index):
+        self._check_index(index)
+        return SampleSpec(
+            index=index,
+            raw_nbytes=64 * 1024,
+            seed=self._seed * 1_000_003 + index,
+            modality="sensor",
+            attrs={"noisy": 1.0 if index % 7 == 0 else 0.0},
+        )
+
+    def _materialize(self, spec):
+        rng = spec.rng(salt=1)
+        return rng.normal(0.0, 1.0, size=(8, 256)).astype(np.float32)
+
+
+class Detrend(Transform):
+    """Remove each channel's mean (cheap, uniform cost)."""
+
+    size_effect = SizeEffect.NEUTRAL
+
+    def cost(self, spec, state):
+        return 0.004
+
+    def output_nbytes(self, spec, state):
+        return state.nbytes
+
+    def _operate(self, sample, ctx):
+        return sample.data - sample.data.mean(axis=1, keepdims=True)
+
+
+class Denoise(Transform):
+    """Expensive smoothing, but only for flagged-noisy windows (bimodal!)."""
+
+    size_effect = SizeEffect.NEUTRAL
+
+    def cost(self, spec, state):
+        return 0.25 if spec.attr("noisy") else 0.006
+
+    def output_nbytes(self, spec, state):
+        return state.nbytes
+
+    def _operate(self, sample, ctx):
+        if sample.spec.attr("noisy"):
+            kernel = np.ones(5) / 5.0
+            return np.apply_along_axis(
+                lambda row: np.convolve(row, kernel, mode="same"), 1, sample.data
+            )
+        return sample.data
+
+
+class Standardize(Transform):
+    size_effect = SizeEffect.NEUTRAL
+
+    def cost(self, spec, state):
+        return 0.003
+
+    def output_nbytes(self, spec, state):
+        return state.nbytes
+
+    def _operate(self, sample, ctx):
+        std = sample.data.std() or 1.0
+        return sample.data / std
+
+
+def run(reorder):
+    dataset = SensorDataset()
+    pipeline = Pipeline([Detrend(), Denoise(), Standardize()])
+    config = MinatoConfig(
+        batch_size=8,
+        num_workers=4,
+        warmup_samples=16,
+        reorder=reorder,
+        adaptive_workers=False,
+        seed=3,
+    )
+    clock = ScaledClock(scale=0.01)
+    loader = MinatoLoader(dataset, pipeline, config, clock=clock)
+    order = []
+    slow_indices = []
+    with loader:
+        for batch in loader:
+            order.extend(batch.indices)
+            slow_indices.extend(s.index for s in batch.samples if s.flagged_slow)
+    stats = loader.stats()
+    mode = "reorder" if reorder else "strict "
+    noisy_flagged = sum(1 for i in slow_indices if i % 7 == 0)
+    print(
+        f"{mode} mode: {stats.samples_timed_out:2d} samples flagged slow "
+        f"({noisy_flagged} of them genuinely noisy), "
+        f"timeout {stats.profiler.timeout * 1000:6.1f} ms, "
+        f"first 12 indices: {order[:12]}"
+    )
+    return order, loader.sampler.epoch(0)
+
+
+def main():
+    print(f"{SensorDataset().__len__()} sensor windows; every 7th is noisy "
+          "(0.25 s to denoise vs ~13 ms for the rest)\n")
+    run(reorder=True)
+    order, sampler_order = run(reorder=False)
+    assert order == sampler_order, "strict mode must preserve sampler order"
+    print("\nstrict mode preserved the sampler order exactly "
+          "(curriculum-safe, paper §6)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Scalability sweep: training time vs GPU count on both paper testbeds.
+
+A compact version of paper Fig. 9: pick a workload, sweep the GPU count on
+Config A (A100) and Config B (V100), and print the training-time matrix for
+all four loaders.
+
+Run:  python examples/scalability_sweep.py [--workload speech_3s] [--scale 0.1]
+"""
+
+import argparse
+
+from repro.analysis import render_table
+from repro.sim.runner import LOADER_NAMES, run_simulation
+from repro.sim.workloads import CONFIG_A, CONFIG_B, WORKLOAD_NAMES, make_workload
+
+
+def sweep(workload, hardware, counts):
+    rows = []
+    for loader in LOADER_NAMES:
+        times = []
+        for n in counts:
+            result = run_simulation(loader, workload, hardware, n)
+            times.append(f"{result.training_time:.1f}")
+        rows.append([loader] + times)
+    return render_table(
+        ["loader"] + [f"{n} GPU" for n in counts],
+        rows,
+        title=f"{workload.name} on {hardware.gpu_type.upper()} -- training time (s):",
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="speech_3s", choices=WORKLOAD_NAMES)
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="fraction of the paper's run length")
+    args = parser.parse_args()
+
+    workload = make_workload(args.workload).scaled(args.scale)
+    print(sweep(workload, CONFIG_A, (1, 2, 3, 4)))
+    print()
+    print(sweep(workload, CONFIG_B, (2, 4, 6, 8)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""The paper's Speech-3s microbenchmark at paper scale (simulated).
+
+Reproduces the headline scenario of §2.2/§5.2: every sample runs a ~0.5 s
+LightStep and every fifth sample a HeavyStep bringing it to 3 s total.  All
+four loaders run the same workload on the Config A testbed (4x A100) in the
+discrete-event simulator, so the full 1000-iteration run finishes in seconds
+of wall time.
+
+Run:  python examples/speech_microbenchmark.py [--iterations N] [--heavy-seconds S]
+"""
+
+import argparse
+
+from repro.analysis import render_table, series_table
+from repro.sim.runner import LOADER_NAMES, run_simulation
+from repro.sim.workloads import CONFIG_A, make_workload
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=200,
+                        help="training iterations (paper: 1000)")
+    parser.add_argument("--heavy-seconds", type=float, default=3.0,
+                        choices=(3.0, 10.0),
+                        help="HeavyStep total per slow sample (Speech-3s/10s)")
+    parser.add_argument("--gpus", type=int, default=4)
+    args = parser.parse_args()
+
+    name = "speech_3s" if args.heavy_seconds == 3.0 else "speech_10s"
+    workload = make_workload(name).scaled(args.iterations / 1000)
+    print(
+        f"{name}: {workload.iterations} iterations, batch {workload.batch_size}, "
+        f"{args.gpus}x A100, HeavyStep on every 5th sample"
+    )
+
+    rows = []
+    results = {}
+    for loader in LOADER_NAMES:
+        result = run_simulation(loader, workload, CONFIG_A, args.gpus)
+        results[loader] = result
+        rows.append(
+            (
+                loader,
+                f"{result.training_time:.1f}",
+                f"{result.throughput_mb_per_s:.1f}",
+                f"{result.mean_gpu_utilization * 100:.1f}",
+                f"{result.cpu_utilization * 100:.1f}",
+            )
+        )
+    print()
+    print(render_table(
+        ["loader", "time (s)", "MB/s", "GPU %", "CPU %"], rows,
+        title="End-to-end results:",
+    ))
+    print()
+    mb = 1024 * 1024
+    for loader in LOADER_NAMES:
+        series = [(t, v / mb) for t, v in results[loader].throughput_series]
+        print(series_table(series, f"{loader} MB/s"))
+    minato = results["minato"].training_time
+    print(
+        f"\nspeedups: {results['pytorch'].training_time / minato:.1f}x vs PyTorch, "
+        f"{results['pecan'].training_time / minato:.1f}x vs Pecan, "
+        f"{results['dali'].training_time / minato:.1f}x vs DALI"
+    )
+
+
+if __name__ == "__main__":
+    main()

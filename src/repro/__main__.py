@@ -1,0 +1,84 @@
+"""Command-line entry point.
+
+    python -m repro list                      # show available experiments
+    python -m repro run fig7 [--scale 0.2]    # run one experiment
+    python -m repro run all --output results/ # run everything, save reports
+    python -m repro report [--scale 0.2]      # (re)generate EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import REGISTRY
+from .experiments import report as report_module
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(k) for k in REGISTRY)
+    for experiment_id, runner in REGISTRY.items():
+        doc = (sys.modules[runner.__module__].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{experiment_id:{width}s}  {summary}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    ids = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+    failures = 0
+    for experiment_id in ids:
+        runner = REGISTRY[experiment_id]
+        if args.scale is not None and experiment_id not in ("table2", "fig2"):
+            result = runner(scale=args.scale)  # type: ignore[call-arg]
+        else:
+            result = runner()
+        print(result.render())
+        print()
+        if args.output:
+            path = result.save(args.output)
+            print(f"saved {path}", file=sys.stderr)
+        if not result.all_passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_report(args) -> int:
+    report_module.main(
+        (["--scale", str(args.scale)] if args.scale is not None else [])
+        + ["--output", args.output]
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_parser.add_argument("experiment")
+    run_parser.add_argument("--scale", type=float, default=None)
+    run_parser.add_argument("--output", default=None, help="directory for reports")
+
+    report_parser = sub.add_parser("report", help="generate EXPERIMENTS.md")
+    report_parser.add_argument("--scale", type=float, default=None)
+    report_parser.add_argument("--output", default="EXPERIMENTS.md")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_report(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Statistics and reporting helpers for the experiment suite."""
+
+from .stats import PreprocessStats, per_sample_costs, preprocessing_stats
+from .tables import render_table, series_table, sparkline, write_csv
+
+__all__ = [
+    "PreprocessStats",
+    "preprocessing_stats",
+    "per_sample_costs",
+    "render_table",
+    "write_csv",
+    "sparkline",
+    "series_table",
+]

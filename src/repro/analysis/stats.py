@@ -1,0 +1,67 @@
+"""Distribution statistics for preprocessing times (paper Table 2, Fig. 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..transforms.base import Pipeline
+
+__all__ = ["PreprocessStats", "preprocessing_stats", "per_sample_costs"]
+
+
+@dataclass(frozen=True)
+class PreprocessStats:
+    """The row format of paper Table 2 (all values in milliseconds)."""
+
+    workload: str
+    avg: float
+    median: float
+    p75: float
+    p90: float
+    minimum: float
+    maximum: float
+    std: float
+    n: int
+
+    def row(self) -> List[str]:
+        return [
+            self.workload,
+            f"{self.avg:.0f}",
+            f"{self.median:.0f}",
+            f"{self.p75:.0f}",
+            f"{self.p90:.0f}",
+            f"{self.minimum:.0f}-{self.maximum:.0f}-{self.std:.0f}",
+        ]
+
+    @staticmethod
+    def header() -> List[str]:
+        return ["Workload", "Avg", "Med.", "P75", "P90", "Min-Max-Std"]
+
+
+def per_sample_costs(dataset: Dataset, pipeline: Pipeline) -> np.ndarray:
+    """Total modelled preprocessing cost (seconds) for every sample."""
+    return np.array([pipeline.total_cost(spec) for spec in dataset.specs()])
+
+
+def preprocessing_stats(
+    workload: str, costs_seconds: Sequence[float]
+) -> PreprocessStats:
+    """Summarize per-sample costs into a Table 2 row (milliseconds)."""
+    costs = np.asarray(list(costs_seconds), dtype=float) * 1000.0
+    if costs.size == 0:
+        raise ValueError("no costs supplied")
+    return PreprocessStats(
+        workload=workload,
+        avg=float(costs.mean()),
+        median=float(np.median(costs)),
+        p75=float(np.percentile(costs, 75)),
+        p90=float(np.percentile(costs, 90)),
+        minimum=float(costs.min()),
+        maximum=float(costs.max()),
+        std=float(costs.std()),
+        n=int(costs.size),
+    )

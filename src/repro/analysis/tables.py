@@ -1,0 +1,94 @@
+"""Plain-text table / series rendering and CSV export.
+
+No plotting libraries are available offline, so every figure is emitted as
+the data series behind it (printable table + optional CSV + a coarse ASCII
+sparkline for time series).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["render_table", "write_csv", "sparkline", "series_table"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def render_table(
+    header: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    rows = [[str(c) for c in row] for row in rows]
+    header = [str(h) for h in header]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(w) for c, w in zip(row, widths[: len(row)]))
+        )
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: str, header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Write rows to CSV, creating parent directories.  Returns the path."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(header))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Coarse ASCII rendering of a series (resampled to ``width`` chars)."""
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        stride = len(values) / width
+        values = [
+            max(values[int(i * stride) : max(int(i * stride) + 1, int((i + 1) * stride))])
+            for i in range(width)
+        ]
+    peak = max(values)
+    if peak <= 0:
+        return " " * len(values)
+    chars = []
+    for v in values:
+        idx = int(round((len(_BLOCKS) - 1) * max(0.0, v) / peak))
+        chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def series_table(
+    series: Sequence[Tuple[float, float]],
+    label: str,
+    unit: str = "",
+    width: int = 60,
+) -> str:
+    """One-line summary of a time series: stats + sparkline."""
+    if not series:
+        return f"{label}: (empty)"
+    values = [v for _t, v in series]
+    avg = sum(values) / len(values)
+    peak = max(values)
+    return (
+        f"{label:24s} avg={avg:10.2f}{unit} peak={peak:10.2f}{unit} "
+        f"|{sparkline(values, width)}|"
+    )

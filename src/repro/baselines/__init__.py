@@ -1,0 +1,18 @@
+"""Baseline loaders: PyTorch DataLoader, DALI and Pecan semantics."""
+
+from .common import BaseConcurrentLoader, BaselineStats
+from .dali_loader import DALIConfig, DALIStyleLoader
+from .heuristics import SizeHeuristicLoader
+from .pecan import PecanLoader
+from .torch_loader import TorchLoaderConfig, TorchStyleLoader
+
+__all__ = [
+    "BaseConcurrentLoader",
+    "BaselineStats",
+    "TorchStyleLoader",
+    "TorchLoaderConfig",
+    "DALIStyleLoader",
+    "DALIConfig",
+    "PecanLoader",
+    "SizeHeuristicLoader",
+]

@@ -1,0 +1,202 @@
+"""Shared machinery for the baseline loaders.
+
+All loaders (MinatoLoader and the baselines) expose the same consumption
+API -- ``next_batch(gpu)`` / ``batches(gpu)`` / ``__iter__`` -- so trainers
+and experiments are loader-agnostic.  :class:`BaseConcurrentLoader` provides
+that surface plus lifecycle and error plumbing; subclasses implement
+``_launch`` to start their background threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..clock import Clock, ThreadLocalClock
+from ..core.batching import Batch
+from ..core.queues import WorkQueue
+from ..data.dataset import Dataset
+from ..data.samplers import RandomSampler
+from ..data.storage import StorageModel
+from ..errors import LoaderStateError
+from ..transforms.base import Pipeline
+
+__all__ = ["BaseConcurrentLoader", "BaselineStats"]
+
+_IDLE_WALL_SLEEP = 0.0005
+
+
+@dataclass
+class BaselineStats:
+    """Counters shared by the baseline loaders."""
+
+    samples_processed: int = 0
+    batches_built: int = 0
+    busy_seconds: float = 0.0
+    io_seconds: float = 0.0
+    collate_seconds: float = 0.0
+
+
+class BaseConcurrentLoader:
+    """Common lifecycle + consumption API for threaded loaders."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        pipeline: Pipeline,
+        batch_size: int,
+        num_gpus: int,
+        queue_capacity: int,
+        drop_last: bool,
+        epochs: int = 1,
+        clock: Optional[Clock] = None,
+        storage: Optional[StorageModel] = None,
+        sampler: Optional[RandomSampler] = None,
+        seed: int = 0,
+    ) -> None:
+        if epochs < 1:
+            raise LoaderStateError(f"epochs must be >= 1, got {epochs!r}")
+        if batch_size < 1:
+            raise LoaderStateError(f"batch_size must be >= 1, got {batch_size!r}")
+        if num_gpus < 1:
+            raise LoaderStateError(f"num_gpus must be >= 1, got {num_gpus!r}")
+        self.dataset = dataset
+        self.pipeline = pipeline
+        self.batch_size = batch_size
+        self.num_gpus = num_gpus
+        self.drop_last = drop_last
+        self.epochs = epochs
+        self.clock = clock if clock is not None else ThreadLocalClock()
+        self.storage = storage
+        self.sampler = sampler if sampler is not None else RandomSampler(len(dataset), seed=seed)
+
+        self._batch_queues = [
+            WorkQueue(queue_capacity, name=f"batch-{g}") for g in range(num_gpus)
+        ]
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._errors: List[BaseException] = []
+        self._errors_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._stats = BaselineStats()
+        self._started = False
+        self._start_lock = threading.Lock()
+        self._shut_down = False
+        self._epochs_consumed = 0
+        self._delivered_to_user = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        with self._start_lock:
+            if self._shut_down:
+                raise LoaderStateError("loader was shut down; create a new instance")
+            if self._started:
+                return
+            self._started = True
+        self._launch()
+
+    def _launch(self) -> None:
+        raise NotImplementedError
+
+    def _spawn(self, target, name: str) -> None:
+        def run():
+            try:
+                target()
+            except Exception as exc:
+                self._record_error(exc)
+
+        thread = threading.Thread(target=run, name=name, daemon=True)
+        self._threads.append(thread)
+        thread.start()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self._stop.set()
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def _record_error(self, exc: BaseException) -> None:
+        with self._errors_lock:
+            self._errors.append(exc)
+        self._stop.set()
+
+    def _raise_errors(self) -> None:
+        with self._errors_lock:
+            if self._errors:
+                raise LoaderStateError(
+                    f"loader thread failed: {self._errors[0]!r}"
+                ) from self._errors[0]
+
+    def _idle_wait(self) -> None:
+        if getattr(self.clock, "shared_timeline", False):
+            self.clock.sleep(0.010)
+        else:
+            time.sleep(_IDLE_WALL_SLEEP)
+
+    # -- stats ------------------------------------------------------------------
+
+    def stats(self) -> BaselineStats:
+        with self._stats_lock:
+            return BaselineStats(
+                samples_processed=self._stats.samples_processed,
+                batches_built=self._stats.batches_built,
+                busy_seconds=self._stats.busy_seconds,
+                io_seconds=self._stats.io_seconds,
+                collate_seconds=self._stats.collate_seconds,
+            )
+
+    # -- consumption --------------------------------------------------------------
+
+    @property
+    def total_samples(self) -> int:
+        return self.epochs * len(self.dataset)
+
+    def next_batch(self, gpu: int = 0) -> Optional[Batch]:
+        if not 0 <= gpu < self.num_gpus:
+            raise LoaderStateError(f"gpu {gpu} out of range")
+        self.start()
+        self._raise_errors()
+        batch = self._batch_queues[gpu].get(stop=self._stop)
+        self._raise_errors()
+        return batch
+
+    def batches(self, gpu: int = 0) -> Iterator[Batch]:
+        while True:
+            batch = self.next_batch(gpu)
+            if batch is None:
+                return
+            yield batch
+
+    def __iter__(self) -> Iterator[Batch]:
+        if self.num_gpus != 1:
+            raise LoaderStateError(
+                "__iter__ supports num_gpus=1; use next_batch(gpu) for multi-GPU"
+            )
+        self.start()
+        epoch = self._epochs_consumed
+        self._epochs_consumed += 1
+        target = min((epoch + 1) * len(self.dataset), self.total_samples)
+        while self._delivered_to_user < target:
+            batch = self.next_batch(0)
+            if batch is None:
+                return
+            self._delivered_to_user += len(batch)
+            yield batch
+
+    def __len__(self) -> int:
+        if self.drop_last:
+            return self.total_samples // self.batch_size
+        return (self.total_samples + self.batch_size - 1) // self.batch_size

@@ -1,0 +1,60 @@
+"""Pecan baseline: AutoOrder transformation reordering over the PyTorch
+pipeline (paper §2.1, §5.1).
+
+The paper re-implemented Pecan's AutoOrder policy in PyTorch for a fair
+single-node comparison (AutoPlacement targets disaggregated clusters and is
+out of scope, §5.1).  :class:`PecanLoader` is therefore a
+:class:`~repro.baselines.torch_loader.TorchStyleLoader` whose pipeline has
+been reordered by :func:`repro.transforms.classify.auto_order`: deflationary
+transformations move earlier, inflationary ones later, within barrier-safe
+sections.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..clock import Clock
+from ..data.dataset import Dataset
+from ..data.samplers import RandomSampler
+from ..data.storage import StorageModel
+from ..transforms.base import Pipeline
+from ..transforms.classify import auto_order
+from .torch_loader import TorchLoaderConfig, TorchStyleLoader
+
+__all__ = ["PecanLoader"]
+
+
+class PecanLoader(TorchStyleLoader):
+    """PyTorch-semantics loader with Pecan's AutoOrder applied."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        pipeline: Pipeline,
+        config: Optional[TorchLoaderConfig] = None,
+        epochs: int = 1,
+        clock: Optional[Clock] = None,
+        storage: Optional[StorageModel] = None,
+        sampler: Optional[RandomSampler] = None,
+        classification_samples: int = 64,
+    ) -> None:
+        specs = [
+            dataset.spec(i) for i in range(min(classification_samples, len(dataset)))
+        ]
+        reordered, order = auto_order(pipeline, specs)
+        self.original_pipeline = pipeline
+        self.auto_order_permutation: List[int] = order
+        super().__init__(
+            dataset=dataset,
+            pipeline=reordered,
+            config=config,
+            epochs=epochs,
+            clock=clock,
+            storage=storage,
+            sampler=sampler,
+        )
+
+    @property
+    def reordered_names(self) -> List[str]:
+        return self.pipeline.names

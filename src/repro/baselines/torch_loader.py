@@ -1,0 +1,215 @@
+"""PyTorch-DataLoader-semantics baseline (paper §2.1).
+
+Faithfully re-implements the scheduling behaviour the paper analyses:
+
+* the sampler pre-determines batch membership *before* preprocessing;
+* index batches are assigned to workers round-robin; each worker processes
+  its batch's samples **sequentially**, so a batch's service time is the sum
+  of its samples' costs;
+* at most ``prefetch_factor`` batches are in flight per worker;
+* completed batches are delivered **strictly in order** -- the reordering
+  buffer holds finished later batches while an earlier slow batch is still
+  preprocessing.  This is the head-of-line blocking of paper §3.3;
+* batch collation / pin-memory runs single-threaded in the main process
+  (charged at ``pin_memory_bandwidth``);
+* with ``persistent_workers=False`` (the default, as in PyTorch) the worker
+  pool restarts every epoch, draining the pipeline at each epoch boundary --
+  the stall visible in the paper's Fig. 1b trace.
+
+A single loader instance feeds all GPUs round-robin, matching the paper's
+single-process multi-GPU setup (Fig. 1a shows one pipeline feeding "GPU").
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..clock import Clock
+from ..core.batching import Batch
+from ..data.dataset import Dataset
+from ..data.samplers import BatchSampler, RandomSampler
+from ..data.storage import StorageModel
+from ..errors import ConfigurationError
+from ..transforms.base import Pipeline, WorkContext
+from .common import BaseConcurrentLoader
+
+__all__ = ["TorchLoaderConfig", "TorchStyleLoader"]
+
+GB = 1024**3
+
+
+@dataclass
+class TorchLoaderConfig:
+    """Knobs mirroring ``torch.utils.data.DataLoader`` (paper §5.1 defaults)."""
+
+    batch_size: int = 4
+    num_workers: int = 12
+    prefetch_factor: int = 2
+    num_gpus: int = 1
+    queue_capacity: int = 100
+    drop_last: bool = False
+    persistent_workers: bool = False
+    #: single-threaded collate/pin-memory copy bandwidth; None disables
+    pin_memory_bandwidth: Optional[float] = 2.0 * GB
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.prefetch_factor < 1:
+            raise ConfigurationError(
+                f"prefetch_factor must be >= 1, got {self.prefetch_factor}"
+            )
+        if self.pin_memory_bandwidth is not None and self.pin_memory_bandwidth <= 0:
+            raise ConfigurationError("pin_memory_bandwidth must be positive")
+
+
+class TorchStyleLoader(BaseConcurrentLoader):
+    """Concurrent re-implementation of the PyTorch DataLoader pipeline."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        pipeline: Pipeline,
+        config: Optional[TorchLoaderConfig] = None,
+        epochs: int = 1,
+        clock: Optional[Clock] = None,
+        storage: Optional[StorageModel] = None,
+        sampler: Optional[RandomSampler] = None,
+    ) -> None:
+        self.config = config if config is not None else TorchLoaderConfig()
+        super().__init__(
+            dataset=dataset,
+            pipeline=pipeline,
+            batch_size=self.config.batch_size,
+            num_gpus=self.config.num_gpus,
+            queue_capacity=self.config.queue_capacity,
+            drop_last=self.config.drop_last,
+            epochs=epochs,
+            clock=clock,
+            storage=storage,
+            sampler=sampler,
+            seed=self.config.seed,
+        )
+        self._results: Dict[int, Tuple[int, Batch]] = {}
+        self._results_lock = threading.Lock()
+
+    # -- orchestration -----------------------------------------------------------
+
+    def _launch(self) -> None:
+        self._spawn(self._orchestrator, "torch-orchestrator")
+
+    def _epoch_batches(self, epoch: int) -> List[List[int]]:
+        return BatchSampler(self.sampler, self.batch_size, self.drop_last).epoch(epoch)
+
+    def _orchestrator(self) -> None:
+        cfg = self.config
+        try:
+            if cfg.persistent_workers:
+                # One worker pool across all epochs: batches of every epoch
+                # are concatenated and delivered in one global order.
+                all_batches: List[List[int]] = []
+                for epoch in range(self.epochs):
+                    all_batches.extend(self._epoch_batches(epoch))
+                self._run_round(all_batches, epoch_hint=0)
+            else:
+                # PyTorch default: the pool restarts per epoch, draining the
+                # pipeline at every boundary.
+                for epoch in range(self.epochs):
+                    if self._stop.is_set():
+                        return
+                    self._run_round(self._epoch_batches(epoch), epoch_hint=epoch)
+        finally:
+            for queue in self._batch_queues:
+                queue.close()
+
+    def _run_round(self, batches: List[List[int]], epoch_hint: int) -> None:
+        cfg = self.config
+        workers = min(cfg.num_workers, max(1, len(batches)))
+        semaphores = [threading.Semaphore(cfg.prefetch_factor) for _ in range(workers)]
+        with self._results_lock:
+            self._results.clear()
+        threads = []
+        for w in range(workers):
+            assigned = [(seq, batches[seq]) for seq in range(w, len(batches), workers)]
+            thread = threading.Thread(
+                target=self._worker,
+                args=(w, assigned, semaphores[w], epoch_hint),
+                name=f"torch-worker-{w}",
+                daemon=True,
+            )
+            threads.append(thread)
+            thread.start()
+
+        # In-order delivery with single-threaded collation.
+        next_seq = 0
+        while next_seq < len(batches) and not self._stop.is_set():
+            with self._results_lock:
+                entry = self._results.pop(next_seq, None)
+            if entry is None:
+                self._idle_wait()
+                continue
+            producer, batch = entry
+            if cfg.pin_memory_bandwidth is not None:
+                collate = batch.nbytes / cfg.pin_memory_bandwidth
+                self.clock.advance(collate)
+                with self._stats_lock:
+                    self._stats.collate_seconds += collate
+            gpu = next_seq % self.num_gpus
+            batch.gpu_index = gpu
+            batch.sequence = next_seq
+            batch.epoch_hint = epoch_hint
+            with self._stats_lock:
+                self._stats.batches_built += 1
+            delivered = self._batch_queues[gpu].put(batch, stop=self._stop)
+            semaphores[producer].release()
+            if not delivered:
+                break
+            next_seq += 1
+        for thread in threads:
+            thread.join()
+
+    # -- workers --------------------------------------------------------------------
+
+    def _worker(
+        self,
+        worker_id: int,
+        assigned: List[Tuple[int, List[int]]],
+        semaphore: threading.Semaphore,
+        epoch_hint: int,
+    ) -> None:
+        try:
+            for seq, indices in assigned:
+                while not semaphore.acquire(timeout=0.05):
+                    if self._stop.is_set():
+                        return
+                if self._stop.is_set():
+                    return
+                samples = []
+                for index in indices:
+                    sample = self.dataset.load(index)
+                    ctx = WorkContext(
+                        clock=self.clock,
+                        rng=np.random.default_rng(
+                            (sample.spec.seed + 7_919 * epoch_hint) & 0x7FFFFFFF
+                        ),
+                    )
+                    if self.storage is not None:
+                        io_seconds = self.storage.read_seconds(sample.spec)
+                        ctx.charge(io_seconds)
+                        with self._stats_lock:
+                            self._stats.io_seconds += io_seconds
+                    self.pipeline.apply_all(sample, ctx)
+                    with self._stats_lock:
+                        self._stats.samples_processed += 1
+                        self._stats.busy_seconds += ctx.charged_seconds
+                    samples.append(sample)
+                batch = Batch(samples=samples, built_at=self.clock.now())
+                with self._results_lock:
+                    self._results[seq] = (worker_id, batch)
+        except Exception as exc:
+            self._record_error(exc)

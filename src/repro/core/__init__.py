@@ -1,0 +1,24 @@
+"""MinatoLoader core: the paper's primary contribution."""
+
+from .balancer import BalanceOutcome, LoadBalancer
+from .batching import Batch
+from .config import MinatoConfig
+from .loader import LoaderStats, MinatoLoader
+from .profiler import ProfilerSnapshot, TimeoutProfiler
+from .queues import QueueClosed, WorkQueue
+from .scheduler import SchedulerDecision, WorkerScheduler
+
+__all__ = [
+    "MinatoLoader",
+    "MinatoConfig",
+    "LoaderStats",
+    "Batch",
+    "LoadBalancer",
+    "BalanceOutcome",
+    "TimeoutProfiler",
+    "ProfilerSnapshot",
+    "WorkerScheduler",
+    "SchedulerDecision",
+    "WorkQueue",
+    "QueueClosed",
+]

@@ -1,0 +1,103 @@
+"""The sample-aware load balancer (paper §4.2, Algorithm 1).
+
+Given a sample and the transform pipeline, the balancer applies transforms
+sequentially while watching the elapsed preprocessing time.  Within budget:
+the sample goes to the *fast* path.  Budget exceeded: preprocessing stops at
+the current transform boundary and the partially-processed sample is handed
+to the *temp* path together with its resume index, to be finished by a
+background slow-task worker and enqueued on the *slow* path.
+
+Fidelity note: the paper interrupts the transformation mid-flight and
+re-executes it in the background.  Python threads cannot be preempted, so
+this implementation checks the budget *between* transforms; the partially
+applied state is therefore always valid and the resume index points at the
+next transform.  (The discrete-event model in :mod:`repro.sim.loaders`
+implements the paper's preemptive accounting, discarding in-flight work.)
+
+Timing source: ``timing='charged'`` measures a sample's elapsed time as the
+sum of modelled transform costs (deterministic, independent of Python
+overhead); ``timing='wall'`` uses the clock, as the real system would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..clock import Clock
+from ..data.sample import Sample
+from ..transforms.base import Pipeline, WorkContext
+
+__all__ = ["BalanceOutcome", "LoadBalancer"]
+
+FAST = "fast"
+TIMEOUT = "timeout"
+
+
+@dataclass
+class BalanceOutcome:
+    """Result of pushing one sample through the balancer."""
+
+    status: str  # FAST or TIMEOUT
+    sample: Sample
+    elapsed_seconds: float
+    resume_index: Optional[int] = None  # set when status == TIMEOUT
+
+    @property
+    def timed_out(self) -> bool:
+        return self.status == TIMEOUT
+
+
+class LoadBalancer:
+    """Algorithm 1's per-sample classification loop."""
+
+    def __init__(self, pipeline: Pipeline, clock: Clock, timing: str = "charged") -> None:
+        if timing not in ("charged", "wall"):
+            raise ValueError(f"timing must be 'charged' or 'wall', got {timing!r}")
+        self.pipeline = pipeline
+        self.clock = clock
+        self.timing = timing
+
+    def _elapsed(self, ctx: WorkContext, start_wall: float, start_charged: float) -> float:
+        if self.timing == "charged":
+            return ctx.charged_seconds - start_charged
+        return self.clock.now() - start_wall
+
+    def process(
+        self, sample: Sample, ctx: WorkContext, timeout_seconds: float
+    ) -> BalanceOutcome:
+        """Apply transforms until done or the timeout budget is exceeded."""
+        start_wall = self.clock.now()
+        start_charged = ctx.charged_seconds
+        pipeline = self.pipeline
+        state = pipeline.initial_state(sample.spec)
+        n = len(pipeline)
+        for i in range(n):
+            sample = pipeline[i].apply(sample, ctx, state)
+            elapsed = self._elapsed(ctx, start_wall, start_charged)
+            if elapsed > timeout_seconds and i < n - 1:
+                return BalanceOutcome(
+                    status=TIMEOUT,
+                    sample=sample,
+                    elapsed_seconds=elapsed,
+                    resume_index=i + 1,
+                )
+        elapsed = self._elapsed(ctx, start_wall, start_charged)
+        if elapsed > timeout_seconds:
+            # The final transform pushed the sample over budget: it is
+            # complete but still accounted as slow (it reaches batches via
+            # the slow queue, matching Algorithm 1's routing).
+            return BalanceOutcome(
+                status=TIMEOUT, sample=sample, elapsed_seconds=elapsed, resume_index=n
+            )
+        return BalanceOutcome(status=FAST, sample=sample, elapsed_seconds=elapsed)
+
+    def resume(self, sample: Sample, resume_index: int, ctx: WorkContext) -> Sample:
+        """Finish a timed-out sample from its recorded transform index."""
+        start_charged = ctx.charged_seconds
+        if resume_index < len(self.pipeline):
+            sample = self.pipeline.apply_all(sample, ctx, start=resume_index)
+        sample.flagged_slow = True
+        sample.preprocess_seconds += 0.0  # bookkeeping done by apply()
+        del start_charged
+        return sample

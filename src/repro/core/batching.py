@@ -1,0 +1,65 @@
+"""Batch records produced by loaders and consumed by the training engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.sample import Sample
+
+__all__ = ["Batch"]
+
+
+@dataclass
+class Batch:
+    """A ready-to-train batch.
+
+    ``slow_count`` supports the paper's batch-composition analysis (§5.6,
+    Fig. 11b/c); ``nbytes`` feeds the throughput-in-MB/s metric (§5.1).
+    """
+
+    samples: List[Sample]
+    gpu_index: int = 0
+    built_at: float = 0.0
+    epoch_hint: int = 0
+    sequence: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.samples)
+
+    @property
+    def indices(self) -> List[int]:
+        return [s.index for s in self.samples]
+
+    @property
+    def slow_count(self) -> int:
+        return sum(1 for s in self.samples if s.flagged_slow)
+
+    @property
+    def slow_fraction(self) -> float:
+        return self.slow_count / len(self.samples) if self.samples else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self.samples)
+
+    def stack(self) -> Optional[np.ndarray]:
+        """Stack payloads when shapes agree (used by the accuracy engine)."""
+        if not self.samples or any(s.data is None for s in self.samples):
+            return None
+        shapes = {s.data.shape for s in self.samples}
+        if len(shapes) != 1:
+            return None
+        return np.stack([s.data for s in self.samples])
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __repr__(self) -> str:
+        return (
+            f"Batch(gpu={self.gpu_index}, n={self.size}, "
+            f"slow={self.slow_count}, seq={self.sequence})"
+        )

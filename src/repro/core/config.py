@@ -1,0 +1,131 @@
+"""Configuration for MinatoLoader (paper §4, §5.1 defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["MinatoConfig"]
+
+
+@dataclass
+class MinatoConfig:
+    """Tuning knobs of MinatoLoader.
+
+    Defaults follow the paper's evaluation setup (§5.1): 12 CPU loading
+    workers per GPU, queue capacities of 100, the timeout at the 75th
+    percentile of observed preprocessing times with a fallback to the 90th,
+    and 10 ms polling sleeps in the batch-construction loops (Algorithm 1).
+    """
+
+    batch_size: int = 4
+    #: initial data-loading workers per GPU (paper: 12)
+    num_workers: int = 12
+    num_gpus: int = 1
+    #: background workers that finish timed-out samples off the critical path
+    slow_workers: int = 2
+    #: batch-construction threads per GPU
+    batch_builders: int = 1
+    #: maximum size of every internal queue (paper: 100)
+    queue_capacity: int = 100
+    #: percentile of preprocessing times used as the slow-sample timeout
+    timeout_percentile: float = 75.0
+    #: fallback percentile when too many samples get flagged slow
+    fallback_percentile: float = 90.0
+    #: fraction of recent samples flagged slow that triggers the fallback
+    max_slow_fraction: float = 0.40
+    #: samples observed before the timeout activates (optimistic warm-up)
+    warmup_samples: int = 64
+    #: fixed timeout in seconds; None means "derive from the profiler"
+    timeout_override: Optional[float] = None
+    #: enable the adaptive worker scheduler (Formulas 1-2)
+    adaptive_workers: bool = True
+    #: hard cap on loading workers (paper: the machine's core count)
+    max_workers: int = 128
+    min_workers: int = 1
+    #: seconds between scheduler adjustments
+    scheduler_interval: float = 1.0
+    #: Formula 2 coefficients
+    alpha: float = 2.0
+    beta: float = 2.0
+    cpu_threshold: float = 0.7
+    delta_clip: int = 2
+    #: polling sleep when queues are empty (paper: 10 ms)
+    poll_interval: float = 0.010
+    drop_last: bool = False
+    #: False restores strict sample order (curriculum mode, paper §6)
+    reorder: bool = True
+    #: transient sample-load failures tolerated per sample before the
+    #: loader aborts (I/O hiccups on shared filesystems are routine)
+    load_retries: int = 0
+    #: classify samples by charged model cost ("charged", deterministic) or
+    #: wall-clock elapsed ("wall", faithful but noisy)
+    timing: str = "charged"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.num_workers < 1:
+            raise ConfigurationError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.num_gpus < 1:
+            raise ConfigurationError(f"num_gpus must be >= 1, got {self.num_gpus}")
+        if self.slow_workers < 1:
+            raise ConfigurationError(
+                f"slow_workers must be >= 1, got {self.slow_workers}"
+            )
+        if self.batch_builders < 1:
+            raise ConfigurationError(
+                f"batch_builders must be >= 1, got {self.batch_builders}"
+            )
+        if self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if not 0 < self.timeout_percentile <= 100:
+            raise ConfigurationError(
+                f"timeout_percentile must be in (0, 100], got {self.timeout_percentile}"
+            )
+        if not self.timeout_percentile <= self.fallback_percentile <= 100:
+            raise ConfigurationError(
+                "fallback_percentile must be in [timeout_percentile, 100], "
+                f"got {self.fallback_percentile}"
+            )
+        if not 0 < self.max_slow_fraction <= 1:
+            raise ConfigurationError(
+                f"max_slow_fraction must be in (0, 1], got {self.max_slow_fraction}"
+            )
+        if self.warmup_samples < 1:
+            raise ConfigurationError(
+                f"warmup_samples must be >= 1, got {self.warmup_samples}"
+            )
+        if self.timeout_override is not None and self.timeout_override <= 0:
+            raise ConfigurationError(
+                f"timeout_override must be positive, got {self.timeout_override}"
+            )
+        if not 1 <= self.min_workers <= self.max_workers:
+            raise ConfigurationError(
+                f"need 1 <= min_workers <= max_workers, got "
+                f"{self.min_workers}..{self.max_workers}"
+            )
+        if self.delta_clip < 1:
+            raise ConfigurationError(f"delta_clip must be >= 1, got {self.delta_clip}")
+        if self.poll_interval <= 0:
+            raise ConfigurationError(
+                f"poll_interval must be positive, got {self.poll_interval}"
+            )
+        if self.timing not in ("charged", "wall"):
+            raise ConfigurationError(
+                f"timing must be 'charged' or 'wall', got {self.timing!r}"
+            )
+        if self.load_retries < 0:
+            raise ConfigurationError(
+                f"load_retries must be >= 0, got {self.load_retries}"
+            )
+
+    @property
+    def total_initial_workers(self) -> int:
+        """Initial loading workers across all GPUs (paper: 12 per GPU)."""
+        return min(self.num_workers * self.num_gpus, self.max_workers)

@@ -1,0 +1,635 @@
+"""MinatoLoader: the paper's sample-aware data loader (paper §4).
+
+Architecture (paper Fig. 5), implemented with real threads:
+
+* a **feeder** streams shuffled sample indices (identical sampling semantics
+  to the PyTorch DataLoader);
+* a dynamic pool of **loading workers** fetches samples from storage, runs
+  the transform pipeline under the :class:`~repro.core.balancer.LoadBalancer`
+  timeout, and routes results to the *fast* queue or -- partially processed --
+  to the *temp* queue;
+* **slow-task workers** finish temp-queue samples off the critical path and
+  enqueue them on the *slow* queue;
+* per-GPU **batch builders** assemble batches preferring fast samples but
+  draining slow ones as they appear (Algorithm 1's construction loop with its
+  10 ms polling sleep);
+* per-GPU bounded **batch queues** feed the GPUs;
+* a **worker scheduler** thread adjusts the loading-worker count from batch
+  queue occupancy and CPU usage (Formulas 1-2);
+* a **profiler** learns the fast/slow timeout (P75, fallback P90) during an
+  optimistic warm-up and keeps adjusting it online.
+
+Deviation from the paper noted in DESIGN.md: queues are shared MPMC rather
+than per-worker, and `threading` replaces `torch.multiprocessing` (modelled
+compute is charged through the Clock abstraction, so the GIL does not
+serialize it).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..clock import Clock, ThreadLocalClock
+from ..data.dataset import Dataset
+from ..data.samplers import RandomSampler
+from ..data.storage import StorageModel
+from ..errors import LoaderStateError
+from ..transforms.base import Pipeline, WorkContext
+from .balancer import LoadBalancer
+from .batching import Batch
+from .config import MinatoConfig
+from .profiler import ProfilerSnapshot, TimeoutProfiler
+from .queues import WorkQueue
+from .scheduler import SchedulerDecision, WorkerScheduler
+
+__all__ = ["MinatoLoader", "LoaderStats"]
+
+_IDLE_WALL_SLEEP = 0.0005  # wall-clock poll when the clock has no shared timeline
+
+
+@dataclass
+class LoaderStats:
+    """Counters exposed for experiments and tests."""
+
+    samples_fed: int = 0
+    samples_fast: int = 0
+    samples_timed_out: int = 0
+    samples_preprocessed: int = 0
+    batches_built: int = 0
+    busy_seconds: float = 0.0
+    io_seconds: float = 0.0
+    load_retries: int = 0
+    profiler: Optional[ProfilerSnapshot] = None
+    worker_history: List[SchedulerDecision] = field(default_factory=list)
+    current_workers: int = 0
+
+    @property
+    def slow_fraction(self) -> float:
+        done = self.samples_preprocessed
+        return self.samples_timed_out / done if done else 0.0
+
+
+class _Counters:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.samples_fed = 0
+        self.samples_fast = 0
+        self.samples_timed_out = 0
+        self.samples_preprocessed = 0
+        self.batches_built = 0
+        self.busy_seconds = 0.0
+        self.io_seconds = 0.0
+        self.load_retries = 0
+
+
+class _OrderedBuffer:
+    """Reorder buffer for the strict-order mode (paper §6)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: Dict[int, object] = {}
+        self._next = 0
+
+    def put(self, seq: int, item: object) -> None:
+        with self._lock:
+            self._items[seq] = item
+
+    def try_next(self) -> Optional[object]:
+        with self._lock:
+            item = self._items.pop(self._next, None)
+            if item is not None:
+                self._next += 1
+            return item
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class _WorkerPool:
+    """Dynamic pool of loading-worker threads."""
+
+    def __init__(self, loader: "MinatoLoader") -> None:
+        self._loader = loader
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._active = 0
+        self._retire_tokens = 0
+        self._threads: List[threading.Thread] = []
+
+    @property
+    def active_count(self) -> int:
+        with self._lock:
+            return self._active
+
+    def spawn(self, n: int) -> None:
+        for _ in range(n):
+            with self._lock:
+                worker_id = self._next_id
+                self._next_id += 1
+                self._active += 1
+            thread = threading.Thread(
+                target=self._run, args=(worker_id,), name=f"minato-worker-{worker_id}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _run(self, worker_id: int) -> None:
+        try:
+            self._loader._worker_loop(worker_id)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._loader._record_error(exc)
+        finally:
+            with self._lock:
+                self._active -= 1
+
+    def resize(self, target: int) -> None:
+        with self._lock:
+            current = self._active - self._retire_tokens
+            diff = target - current
+        if diff > 0:
+            with self._lock:
+                absorbed = min(diff, self._retire_tokens)
+                self._retire_tokens -= absorbed
+                diff -= absorbed
+            if diff > 0:
+                self.spawn(diff)
+        elif diff < 0:
+            with self._lock:
+                self._retire_tokens += -diff
+
+    def should_retire(self) -> bool:
+        with self._lock:
+            if self._retire_tokens > 0:
+                self._retire_tokens -= 1
+                return True
+            return False
+
+    def join_all(self, timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = max(0.0, deadline - time.monotonic())
+            thread.join(timeout=remaining)
+
+
+class MinatoLoader:
+    """Drop-in, sample-aware replacement for the PyTorch DataLoader.
+
+    Example::
+
+        loader = MinatoLoader(dataset, pipeline, MinatoConfig(batch_size=4))
+        for batch in loader:          # one epoch
+            train_step(batch)
+        loader.shutdown()
+
+    Multi-GPU trainers pull per-GPU streams with :meth:`next_batch` /
+    :meth:`batches` instead of ``__iter__``.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        pipeline: Pipeline,
+        config: Optional[MinatoConfig] = None,
+        epochs: int = 1,
+        clock: Optional[Clock] = None,
+        storage: Optional[StorageModel] = None,
+        sampler: Optional[RandomSampler] = None,
+    ) -> None:
+        if epochs < 1:
+            raise LoaderStateError(f"epochs must be >= 1, got {epochs!r}")
+        self.dataset = dataset
+        self.pipeline = pipeline
+        self.config = config if config is not None else MinatoConfig()
+        self.epochs = epochs
+        self.clock = clock if clock is not None else ThreadLocalClock()
+        self.storage = storage
+        self.sampler = (
+            sampler if sampler is not None else RandomSampler(len(dataset), seed=self.config.seed)
+        )
+
+        cfg = self.config
+        self.profiler = TimeoutProfiler(
+            percentile=cfg.timeout_percentile,
+            fallback_percentile=cfg.fallback_percentile,
+            warmup_samples=cfg.warmup_samples,
+            max_slow_fraction=cfg.max_slow_fraction,
+            override=cfg.timeout_override,
+        )
+        self.balancer = LoadBalancer(pipeline, self.clock, timing=cfg.timing)
+        self.scheduler = WorkerScheduler(
+            alpha=cfg.alpha,
+            beta=cfg.beta,
+            cpu_threshold=cfg.cpu_threshold,
+            delta_clip=cfg.delta_clip,
+            min_workers=cfg.min_workers,
+            max_workers=cfg.max_workers,
+        )
+
+        self._index_queue = WorkQueue(cfg.queue_capacity, name="index")
+        self._fast_queue = WorkQueue(cfg.queue_capacity, name="fast")
+        self._slow_queue = WorkQueue(cfg.queue_capacity, name="slow")
+        self._temp_queue = WorkQueue(cfg.queue_capacity, name="temp")
+        self._batch_queues = [
+            WorkQueue(cfg.queue_capacity, name=f"batch-{g}") for g in range(cfg.num_gpus)
+        ]
+        self._ordered = _OrderedBuffer()
+
+        self._counters = _Counters()
+        self._stop = threading.Event()
+        self._feeding_done = threading.Event()
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
+
+        self._total_expected = epochs * len(dataset)
+        self._remaining_per_gpu = self._deal_quota(
+            self._total_expected, cfg.batch_size, cfg.num_gpus
+        )
+        self._claim_lock = threading.Lock()
+        self._batch_seq = 0
+        self._batch_seq_lock = threading.Lock()
+        self._builders_active = [0] * cfg.num_gpus
+        self._builders_lock = threading.Lock()
+
+        self._errors: List[BaseException] = []
+        self._errors_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._pool = _WorkerPool(self)
+        self._worker_history: List[SchedulerDecision] = []
+        self._started = False
+        self._start_lock = threading.Lock()
+        self._shut_down = False
+        self._epochs_consumed = 0
+        self._delivered_to_user = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @staticmethod
+    def _deal_quota(total: int, batch_size: int, num_gpus: int) -> List[int]:
+        """Deal the sample stream to GPUs in batch-size chunks, round-robin.
+
+        Guarantees every GPU a near-equal share of batches regardless of how
+        fast individual builders run (a single global counter would let one
+        GPU's builder claim the whole stream during a burst).
+        """
+        quota = [0] * num_gpus
+        gpu = 0
+        remaining = total
+        while remaining > 0:
+            take = min(batch_size, remaining)
+            quota[gpu] += take
+            remaining -= take
+            gpu = (gpu + 1) % num_gpus
+        return quota
+
+    def start(self) -> None:
+        """Start the background machinery (idempotent)."""
+        with self._start_lock:
+            if self._shut_down:
+                raise LoaderStateError("loader was shut down; create a new instance")
+            if self._started:
+                return
+            self._started = True
+        cfg = self.config
+
+        self._spawn(self._feeder_loop, "minato-feeder")
+        self._pool.spawn(cfg.total_initial_workers)
+        for i in range(cfg.slow_workers):
+            self._spawn(self._slow_worker_loop, f"minato-slow-{i}")
+        for gpu in range(cfg.num_gpus):
+            with self._builders_lock:
+                self._builders_active[gpu] = cfg.batch_builders
+            for b in range(cfg.batch_builders):
+                self._spawn(
+                    lambda g=gpu: self._builder_loop(g), f"minato-builder-{gpu}-{b}"
+                )
+        if cfg.adaptive_workers and getattr(self.clock, "shared_timeline", False):
+            self._spawn(self._scheduler_loop, "minato-scheduler")
+
+    def _spawn(self, target, name: str) -> None:
+        thread = threading.Thread(target=self._guarded(target), name=name, daemon=True)
+        self._threads.append(thread)
+        thread.start()
+
+    def _guarded(self, target):
+        def run():
+            try:
+                target()
+            except Exception as exc:
+                self._record_error(exc)
+
+        return run
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop all threads and release resources (idempotent)."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self._stop.set()
+        if self._started:
+            self._pool.join_all(timeout)
+            deadline = time.monotonic() + timeout
+            for thread in self._threads:
+                thread.join(timeout=max(0.0, deadline - time.monotonic()))
+
+    def __enter__(self) -> "MinatoLoader":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def _record_error(self, exc: BaseException) -> None:
+        with self._errors_lock:
+            self._errors.append(exc)
+        self._stop.set()
+
+    def _raise_errors(self) -> None:
+        with self._errors_lock:
+            if self._errors:
+                raise LoaderStateError(
+                    f"loader thread failed: {self._errors[0]!r}"
+                ) from self._errors[0]
+
+    # -- idle waiting ----------------------------------------------------------
+
+    def _idle_wait(self) -> None:
+        if getattr(self.clock, "shared_timeline", False):
+            self.clock.sleep(self.config.poll_interval)
+        else:
+            time.sleep(_IDLE_WALL_SLEEP)
+
+    # -- feeder ----------------------------------------------------------------
+
+    def _feeder_loop(self) -> None:
+        seq = 0
+        for epoch in range(self.epochs):
+            for index in self.sampler.epoch(epoch):
+                if self._stop.is_set():
+                    return
+                if not self._index_queue.put((epoch, seq, index), stop=self._stop):
+                    return
+                with self._counters.lock:
+                    self._counters.samples_fed += 1
+                seq += 1
+        self._feeding_done.set()
+
+    # -- loading workers ---------------------------------------------------------
+
+    def _worker_loop(self, worker_id: int) -> None:
+        cfg = self.config
+        while not self._stop.is_set():
+            if self._pool.should_retire():
+                return
+            item = self._index_queue.try_get()
+            if item is None:
+                if self._feeding_done.is_set() and len(self._index_queue) == 0:
+                    return
+                self._idle_wait()
+                continue
+            epoch, seq, index = item
+            with self._in_flight_lock:
+                self._in_flight += 1
+            try:
+                self._process_one(epoch, seq, index)
+            finally:
+                with self._in_flight_lock:
+                    self._in_flight -= 1
+
+    def _load_with_retries(self, index: int):
+        """Fetch a sample, tolerating transient failures (config.load_retries)."""
+        attempts = self.config.load_retries + 1
+        for attempt in range(attempts):
+            try:
+                return self.dataset.load(index)
+            except Exception:
+                with self._counters.lock:
+                    self._counters.load_retries += 1
+                if attempt == attempts - 1:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _process_one(self, epoch: int, seq: int, index: int) -> None:
+        sample = self._load_with_retries(index)
+        ctx = WorkContext(
+            clock=self.clock,
+            rng=np.random.default_rng((sample.spec.seed + 7_919 * epoch) & 0x7FFFFFFF),
+        )
+        if self.storage is not None:
+            io_seconds = self.storage.read_seconds(sample.spec)
+            ctx.charge(io_seconds)
+            with self._counters.lock:
+                self._counters.io_seconds += io_seconds
+        outcome = self.balancer.process(sample, ctx, self.profiler.timeout())
+        with self._counters.lock:
+            self._counters.busy_seconds += ctx.charged_seconds
+        if outcome.timed_out:
+            with self._counters.lock:
+                self._counters.samples_timed_out += 1
+            self._temp_queue.put(
+                (outcome.sample, outcome.resume_index, epoch, seq), stop=self._stop
+            )
+        else:
+            self.profiler.record(outcome.elapsed_seconds, flagged_slow=False)
+            with self._counters.lock:
+                self._counters.samples_fast += 1
+            self._route_ready(outcome.sample, epoch, seq, slow=False)
+
+    def _route_ready(self, sample, epoch: int, seq: int, slow: bool) -> None:
+        with self._counters.lock:
+            self._counters.samples_preprocessed += 1
+        if self.config.reorder:
+            queue = self._slow_queue if slow else self._fast_queue
+            queue.put(sample, stop=self._stop)
+        else:
+            self._ordered.put(seq, sample)
+
+    # -- slow-task workers ---------------------------------------------------------
+
+    def _loaders_drained(self) -> bool:
+        if not self._feeding_done.is_set() or len(self._index_queue) != 0:
+            return False
+        with self._in_flight_lock:
+            return self._in_flight == 0
+
+    def _slow_worker_loop(self) -> None:
+        while not self._stop.is_set():
+            item = self._temp_queue.try_get()
+            if item is None:
+                if self._loaders_drained() and len(self._temp_queue) == 0:
+                    return
+                self._idle_wait()
+                continue
+            sample, resume_index, epoch, seq = item
+            ctx = WorkContext(
+                clock=self.clock,
+                rng=np.random.default_rng((sample.spec.seed + 104_729) & 0x7FFFFFFF),
+            )
+            sample = self.balancer.resume(sample, resume_index, ctx)
+            with self._counters.lock:
+                self._counters.busy_seconds += ctx.charged_seconds
+            self.profiler.record(sample.preprocess_seconds, flagged_slow=True)
+            self._route_ready(sample, epoch, seq, slow=True)
+
+    # -- batch builders ----------------------------------------------------------
+
+    def _claim(self, gpu: int) -> int:
+        batch_size = self.config.batch_size
+        with self._claim_lock:
+            remaining = self._remaining_per_gpu[gpu]
+            if remaining <= 0:
+                return 0
+            if self.config.drop_last and remaining < batch_size:
+                self._remaining_per_gpu[gpu] = 0
+                return 0
+            take = min(batch_size, remaining)
+            self._remaining_per_gpu[gpu] = remaining - take
+            return take
+
+    def _stream_finished(self) -> bool:
+        with self._claim_lock:
+            return all(r <= 0 for r in self._remaining_per_gpu)
+
+    def _next_ready_sample(self):
+        if self.config.reorder:
+            sample = self._fast_queue.try_get()
+            if sample is None:
+                sample = self._slow_queue.try_get()
+            return sample
+        return self._ordered.try_next()
+
+    def _builder_loop(self, gpu: int) -> None:
+        try:
+            while not self._stop.is_set():
+                take = self._claim(gpu)
+                if take == 0:
+                    return
+                samples = []
+                while len(samples) < take and not self._stop.is_set():
+                    sample = self._next_ready_sample()
+                    if sample is None:
+                        self._idle_wait()
+                        continue
+                    samples.append(sample)
+                if len(samples) < take:
+                    return  # stopped mid-collection
+                with self._batch_seq_lock:
+                    seq = self._batch_seq
+                    self._batch_seq += 1
+                batch = Batch(
+                    samples=samples,
+                    gpu_index=gpu,
+                    built_at=self.clock.now(),
+                    sequence=seq,
+                )
+                with self._counters.lock:
+                    self._counters.batches_built += 1
+                if not self._batch_queues[gpu].put(batch, stop=self._stop):
+                    return
+        finally:
+            close_queue = False
+            with self._builders_lock:
+                self._builders_active[gpu] -= 1
+                if self._builders_active[gpu] == 0:
+                    close_queue = True
+            if close_queue:
+                self._batch_queues[gpu].close()
+
+    # -- worker scheduler ----------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        cfg = self.config
+        prev_busy = 0.0
+        prev_time = self.clock.now()
+        while not self._stop.is_set():
+            self.clock.sleep(cfg.scheduler_interval)
+            if self._stop.is_set():
+                return
+            if self._stream_finished():
+                return
+            now = self.clock.now()
+            interval = now - prev_time
+            if interval <= 0:
+                continue
+            with self._counters.lock:
+                busy = self._counters.busy_seconds
+            workers = max(1, self._pool.active_count)
+            cpu_usage = min(1.0, (busy - prev_busy) / (workers * interval))
+            queue_fill = sum(q.fill_fraction() for q in self._batch_queues) / len(
+                self._batch_queues
+            )
+            decision = self.scheduler.decide(self._pool.active_count, queue_fill, cpu_usage)
+            self._worker_history.append(decision)
+            if decision.new_workers != decision.previous_workers:
+                self._pool.resize(decision.new_workers)
+            prev_busy, prev_time = busy, now
+
+    # -- consumption API ----------------------------------------------------------
+
+    def next_batch(self, gpu: int = 0) -> Optional[Batch]:
+        """Blocking fetch of the next batch for one GPU (None at stream end)."""
+        if not 0 <= gpu < self.config.num_gpus:
+            raise LoaderStateError(f"gpu {gpu} out of range")
+        self.start()
+        self._raise_errors()
+        batch = self._batch_queues[gpu].get(stop=self._stop)
+        self._raise_errors()
+        return batch
+
+    def batches(self, gpu: int = 0) -> Iterator[Batch]:
+        """Iterate all batches destined for one GPU."""
+        while True:
+            batch = self.next_batch(gpu)
+            if batch is None:
+                return
+            yield batch
+
+    def __iter__(self) -> Iterator[Batch]:
+        """Iterate one epoch's worth of batches (single-GPU convenience)."""
+        if self.config.num_gpus != 1:
+            raise LoaderStateError(
+                "__iter__ supports num_gpus=1; multi-GPU trainers should use "
+                "next_batch(gpu)/batches(gpu)"
+            )
+        self.start()
+        epoch = self._epochs_consumed
+        self._epochs_consumed += 1
+        target = min((epoch + 1) * len(self.dataset), self._total_expected)
+        while self._delivered_to_user < target:
+            batch = self.next_batch(0)
+            if batch is None:
+                return
+            self._delivered_to_user += len(batch)
+            yield batch
+
+    def __len__(self) -> int:
+        """Total number of batches across all epochs."""
+        batch_size = self.config.batch_size
+        if self.config.drop_last:
+            return self._total_expected // batch_size
+        return (self._total_expected + batch_size - 1) // batch_size
+
+    # -- stats ----------------------------------------------------------------------
+
+    def stats(self) -> LoaderStats:
+        with self._counters.lock:
+            counters = self._counters
+            stats = LoaderStats(
+                samples_fed=counters.samples_fed,
+                samples_fast=counters.samples_fast,
+                samples_timed_out=counters.samples_timed_out,
+                samples_preprocessed=counters.samples_preprocessed,
+                batches_built=counters.batches_built,
+                busy_seconds=counters.busy_seconds,
+                io_seconds=counters.io_seconds,
+                load_retries=counters.load_retries,
+            )
+        stats.profiler = self.profiler.snapshot()
+        stats.worker_history = list(self._worker_history)
+        stats.current_workers = self._pool.active_count
+        return stats

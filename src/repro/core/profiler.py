@@ -1,0 +1,156 @@
+"""Warm-up and online profiling of per-sample preprocessing times (paper §4.2).
+
+MinatoLoader starts optimistic -- every sample is assumed fast -- while the
+profiler gathers per-sample total preprocessing times.  After
+``warmup_samples`` observations the timeout activates at the configured
+percentile (P75 by default: "moving only the 25% slowest samples to the temp
+queue").  Profiling continues in the background over a sliding window, so the
+threshold tracks workload drift; if too many recent samples get flagged slow
+(a skewed distribution), the profiler automatically falls back to the higher
+percentile (P90 by default).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["TimeoutProfiler", "ProfilerSnapshot"]
+
+
+@dataclass(frozen=True)
+class ProfilerSnapshot:
+    """Point-in-time view of the profiler state."""
+
+    observations: int
+    in_warmup: bool
+    timeout: float
+    active_percentile: float
+    recent_slow_fraction: float
+    mean_seconds: float
+    p75_seconds: float
+    p90_seconds: float
+
+
+class TimeoutProfiler:
+    """Thread-safe percentile tracker deciding the fast/slow timeout."""
+
+    def __init__(
+        self,
+        percentile: float = 75.0,
+        fallback_percentile: float = 90.0,
+        warmup_samples: int = 64,
+        window: int = 1024,
+        max_slow_fraction: float = 0.40,
+        override: Optional[float] = None,
+    ) -> None:
+        if window < 8:
+            raise ValueError(f"window must be >= 8, got {window!r}")
+        self._percentile = percentile
+        self._fallback = fallback_percentile
+        self._warmup_samples = warmup_samples
+        self._max_slow_fraction = max_slow_fraction
+        self._override = override
+        self._times: deque = deque(maxlen=window)
+        self._flags: deque = deque(maxlen=window)
+        self._count = 0
+        self._lock = threading.Lock()
+        self._cached_timeout = math.inf
+        self._dirty = True
+        self._using_fallback = False
+        #: recompute the percentile at most every this many new records
+        #: (a percentile over a 1024-deep window moves negligibly per sample)
+        self._recompute_every = 16
+        self._records_since_recompute = 0
+
+    @property
+    def observations(self) -> int:
+        return self._count
+
+    @property
+    def in_warmup(self) -> bool:
+        return self._count < self._warmup_samples
+
+    @property
+    def active_percentile(self) -> float:
+        return self._fallback if self._using_fallback else self._percentile
+
+    def record(self, seconds: float, flagged_slow: bool = False) -> None:
+        """Record one completed sample's total preprocessing time."""
+        if seconds < 0:
+            raise ValueError(f"negative duration: {seconds!r}")
+        with self._lock:
+            self._times.append(seconds)
+            self._flags.append(bool(flagged_slow))
+            self._count += 1
+            self._records_since_recompute += 1
+            if (
+                self._records_since_recompute >= self._recompute_every
+                or self._cached_timeout is math.inf
+            ):
+                self._dirty = True
+
+    def recent_slow_fraction(self) -> float:
+        with self._lock:
+            if not self._flags:
+                return 0.0
+            return sum(self._flags) / len(self._flags)
+
+    def timeout(self) -> float:
+        """Current slow-sample timeout in seconds (inf during warm-up)."""
+        if self._override is not None:
+            return self._override
+        with self._lock:
+            if self._count < self._warmup_samples:
+                return math.inf
+            if self._dirty:
+                self._recompute_locked()
+            return self._cached_timeout
+
+    def _recompute_locked(self) -> None:
+        times = np.fromiter(self._times, dtype=float)
+        slow_fraction = (
+            sum(self._flags) / len(self._flags) if self._flags else 0.0
+        )
+        # Fall back to the higher percentile if the current threshold is
+        # flagging too much of the stream as slow (paper §4.2); recover once
+        # the flagged fraction drops well below the limit.
+        if slow_fraction > self._max_slow_fraction:
+            self._using_fallback = True
+        elif slow_fraction < self._max_slow_fraction / 2:
+            self._using_fallback = False
+        percentile = self._fallback if self._using_fallback else self._percentile
+        self._cached_timeout = float(np.percentile(times, percentile))
+        self._dirty = False
+        self._records_since_recompute = 0
+
+    def snapshot(self) -> ProfilerSnapshot:
+        with self._lock:
+            times = np.fromiter(self._times, dtype=float) if self._times else None
+            slow_fraction = (
+                sum(self._flags) / len(self._flags) if self._flags else 0.0
+            )
+            in_warmup = self._count < self._warmup_samples
+            if times is None or in_warmup and self._override is None:
+                timeout = self._override if self._override is not None else math.inf
+            else:
+                if self._dirty:
+                    self._recompute_locked()
+                timeout = (
+                    self._override if self._override is not None else self._cached_timeout
+                )
+            return ProfilerSnapshot(
+                observations=self._count,
+                in_warmup=in_warmup,
+                timeout=timeout,
+                active_percentile=self.active_percentile,
+                recent_slow_fraction=slow_fraction,
+                mean_seconds=float(times.mean()) if times is not None and times.size else 0.0,
+                p75_seconds=float(np.percentile(times, 75)) if times is not None and times.size else 0.0,
+                p90_seconds=float(np.percentile(times, 90)) if times is not None and times.size else 0.0,
+            )

@@ -1,0 +1,122 @@
+"""Thread-safe bounded queues for the concurrent engine.
+
+A thin layer over :class:`queue.Queue` adding the operations loader threads
+need: non-blocking ``try_get``/``try_put``, interruptible blocking variants
+driven by a stop event, close semantics, and peak-occupancy stats for the
+worker scheduler.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Optional
+
+from ..errors import LoaderStateError
+
+__all__ = ["WorkQueue", "QueueClosed"]
+
+
+class QueueClosed(LoaderStateError):
+    """Raised when putting into (or draining past the end of) a closed queue."""
+
+
+class WorkQueue:
+    """Bounded MPMC FIFO with close semantics.
+
+    ``get``/``put`` poll in small slices so a stop event can interrupt them;
+    the poll slice is wall-clock and short, it does not affect virtual-time
+    accounting (waiting threads are idle by definition).
+    """
+
+    _POLL_SLICE = 0.005  # wall seconds
+
+    def __init__(self, capacity: int = 0, name: str = "queue") -> None:
+        self._q: "queue.Queue" = queue.Queue(maxsize=capacity)
+        self.name = name
+        self._closed = threading.Event()
+        self._lock = threading.Lock()
+        self.peak_size = 0
+        self.total_put = 0
+        self.total_got = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._q.maxsize
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def __len__(self) -> int:
+        return self._q.qsize()
+
+    def fill_fraction(self) -> float:
+        if self._q.maxsize <= 0:
+            return 0.0
+        return self._q.qsize() / self._q.maxsize
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Mark the queue closed; pending items can still be drained."""
+        self._closed.set()
+
+    # -- operations -----------------------------------------------------------
+
+    def _record_put(self) -> None:
+        with self._lock:
+            self.total_put += 1
+            size = self._q.qsize()
+            if size > self.peak_size:
+                self.peak_size = size
+
+    def try_put(self, item: Any) -> bool:
+        if self._closed.is_set():
+            raise QueueClosed(f"{self.name} is closed")
+        try:
+            self._q.put_nowait(item)
+        except queue.Full:
+            return False
+        self._record_put()
+        return True
+
+    def put(self, item: Any, stop: Optional[threading.Event] = None) -> bool:
+        """Blocking put; returns False if interrupted by ``stop`` or close."""
+        while True:
+            if stop is not None and stop.is_set():
+                return False
+            if self._closed.is_set():
+                raise QueueClosed(f"{self.name} is closed")
+            try:
+                self._q.put(item, timeout=self._POLL_SLICE)
+            except queue.Full:
+                continue
+            self._record_put()
+            return True
+
+    def try_get(self) -> Any:
+        try:
+            item = self._q.get_nowait()
+        except queue.Empty:
+            return None
+        with self._lock:
+            self.total_got += 1
+        return item
+
+    def get(self, stop: Optional[threading.Event] = None) -> Any:
+        """Blocking get; returns None if interrupted or closed-and-drained."""
+        while True:
+            if stop is not None and stop.is_set():
+                return None
+            try:
+                item = self._q.get(timeout=self._POLL_SLICE)
+            except queue.Empty:
+                if self._closed.is_set() and self._q.empty():
+                    return None
+                continue
+            with self._lock:
+                self.total_got += 1
+            return item

@@ -1,0 +1,43 @@
+"""Datasets, samplers, sample records and the storage substrate."""
+
+from .dataset import Dataset, InMemoryDataset, SubsetDataset
+from .sample import Sample, SampleSpec
+from .samplers import BatchSampler, RandomSampler, SequentialSampler, ShardedSampler
+from .storage import (
+    DRAM_BANDWIDTH,
+    LUSTRE,
+    NVME,
+    PageCache,
+    StorageModel,
+    StorageSpec,
+)
+from .synthetic import (
+    MB,
+    ReplicatedDataset,
+    SyntheticCOCO,
+    SyntheticKiTS19,
+    SyntheticLibriSpeech,
+)
+
+__all__ = [
+    "Dataset",
+    "InMemoryDataset",
+    "SubsetDataset",
+    "Sample",
+    "SampleSpec",
+    "SequentialSampler",
+    "RandomSampler",
+    "ShardedSampler",
+    "BatchSampler",
+    "PageCache",
+    "StorageModel",
+    "StorageSpec",
+    "NVME",
+    "LUSTRE",
+    "DRAM_BANDWIDTH",
+    "SyntheticKiTS19",
+    "SyntheticCOCO",
+    "SyntheticLibriSpeech",
+    "ReplicatedDataset",
+    "MB",
+]

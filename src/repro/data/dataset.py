@@ -1,0 +1,116 @@
+"""Dataset abstractions.
+
+A :class:`Dataset` is a map-style collection of :class:`SampleSpec` records
+plus a loader that materializes real numpy payloads.  Payloads are generated
+deterministically from the per-sample seed, so repeated loads of the same
+index are identical -- which the tests rely on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DatasetError
+from .sample import Sample, SampleSpec
+
+__all__ = ["Dataset", "InMemoryDataset", "SubsetDataset"]
+
+
+class Dataset(ABC):
+    """Map-style dataset: index -> spec / sample."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def spec(self, index: int) -> SampleSpec:
+        """Cheap metadata for one sample (no payload materialization)."""
+
+    @abstractmethod
+    def _materialize(self, spec: SampleSpec) -> np.ndarray:
+        """Generate the raw payload for a spec."""
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self):
+            raise DatasetError(
+                f"index {index} out of range for dataset of size {len(self)}"
+            )
+
+    def load(self, index: int) -> Sample:
+        """Materialize the raw sample (payload + bookkeeping)."""
+        self._check_index(index)
+        spec = self.spec(index)
+        data = self._materialize(spec)
+        return Sample(spec=spec, data=data, nbytes=spec.raw_nbytes)
+
+    def specs(self) -> Iterator[SampleSpec]:
+        for i in range(len(self)):
+            yield self.spec(i)
+
+    def total_raw_nbytes(self) -> int:
+        return sum(s.raw_nbytes for s in self.specs())
+
+    def subset(self, indices: Sequence[int]) -> "SubsetDataset":
+        return SubsetDataset(self, indices)
+
+
+class InMemoryDataset(Dataset):
+    """A dataset over explicit arrays -- handy for tests and custom usage."""
+
+    def __init__(
+        self,
+        arrays: Sequence[np.ndarray],
+        modality: str = "custom",
+        seed: int = 0,
+        raw_nbytes: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not arrays:
+            raise DatasetError("InMemoryDataset needs at least one array")
+        self._arrays = [np.asarray(a) for a in arrays]
+        if raw_nbytes is not None and len(raw_nbytes) != len(arrays):
+            raise DatasetError("raw_nbytes must match the number of arrays")
+        self._specs: List[SampleSpec] = [
+            SampleSpec(
+                index=i,
+                raw_nbytes=int(
+                    raw_nbytes[i] if raw_nbytes is not None else a.nbytes
+                ),
+                seed=seed * 1_000_003 + i,
+                modality=modality,
+            )
+            for i, a in enumerate(self._arrays)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def spec(self, index: int) -> SampleSpec:
+        self._check_index(index)
+        return self._specs[index]
+
+    def _materialize(self, spec: SampleSpec) -> np.ndarray:
+        return self._arrays[spec.index]
+
+
+class SubsetDataset(Dataset):
+    """A view over a subset of another dataset (used for GPU sharding)."""
+
+    def __init__(self, base: Dataset, indices: Sequence[int]) -> None:
+        self._base = base
+        self._indices = list(indices)
+        for i in self._indices:
+            if not 0 <= i < len(base):
+                raise DatasetError(f"subset index {i} out of range")
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def spec(self, index: int) -> SampleSpec:
+        self._check_index(index)
+        return self._base.spec(self._indices[index])
+
+    def _materialize(self, spec: SampleSpec) -> np.ndarray:
+        return self._base._materialize(spec)

@@ -1,0 +1,106 @@
+"""Sample records shared by datasets, transforms, loaders and simulators.
+
+A :class:`SampleSpec` is the cheap, immutable description of a sample: its
+index, on-storage size, modality and a deterministic per-sample seed.  The
+discrete-event simulator works on specs alone (costs are derived from them
+without touching real arrays); the concurrent engine additionally carries a
+real numpy payload in a :class:`Sample`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import math
+
+import numpy as np
+
+__all__ = ["SampleSpec", "Sample"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """Fast deterministic 64-bit mixer (splitmix64)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+@dataclass(frozen=True)
+class SampleSpec:
+    """Immutable description of one dataset sample."""
+
+    index: int
+    raw_nbytes: int
+    seed: int
+    modality: str
+    attrs: Dict[str, float] = field(default_factory=dict)
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """Deterministic RNG for this sample (optionally salted).
+
+        Costs and data content derived through this RNG are identical in the
+        concurrent engine and in the simulator, which is what makes the two
+        substrates comparable.  Use this for payload generation; the scalar
+        helpers below are much cheaper for cost-model draws (cost models run
+        once per sample per simulated epoch).
+        """
+        return np.random.default_rng((self.seed * 1_000_003 + salt) & 0x7FFFFFFF)
+
+    # -- cheap deterministic scalar draws (hash-based, no Generator) --------
+
+    def u01(self, salt: int = 0, stream: int = 0) -> float:
+        """Deterministic uniform in [0, 1) keyed by (sample, salt, stream)."""
+        h = _splitmix64(self.seed * 1_000_003 + salt * 7_919 + stream * 104_729)
+        return h / float(1 << 64)
+
+    def uniform(self, salt: int, low: float, high: float, stream: int = 0) -> float:
+        return low + (high - low) * self.u01(salt, stream)
+
+    def normal(self, salt: int, stream: int = 0) -> float:
+        """Deterministic standard-normal draw (Box-Muller)."""
+        u1 = max(self.u01(salt, stream * 2 + 1), 1e-12)
+        u2 = self.u01(salt, stream * 2 + 2)
+        return math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+
+    def lognormal(self, salt: int, sigma: float, stream: int = 0) -> float:
+        """Mean-one lognormal draw with shape ``sigma``."""
+        return math.exp(self.normal(salt, stream) * sigma - sigma * sigma / 2.0)
+
+    def attr(self, name: str, default: float = 0.0) -> float:
+        return self.attrs.get(name, default)
+
+
+@dataclass
+class Sample:
+    """A sample in flight through a preprocessing pipeline."""
+
+    spec: SampleSpec
+    data: Optional[np.ndarray] = None
+    nbytes: int = 0
+    applied: List[str] = field(default_factory=list)
+    #: wall/virtual seconds spent preprocessing this sample so far
+    preprocess_seconds: float = 0.0
+    #: marked True by the load balancer when the sample exceeded the timeout
+    flagged_slow: bool = False
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def index(self) -> int:
+        return self.spec.index
+
+    def clone_meta(self) -> "Sample":
+        """Copy bookkeeping without duplicating the payload array."""
+        return Sample(
+            spec=self.spec,
+            data=self.data,
+            nbytes=self.nbytes,
+            applied=list(self.applied),
+            preprocess_seconds=self.preprocess_seconds,
+            flagged_slow=self.flagged_slow,
+            extras=dict(self.extras),
+        )

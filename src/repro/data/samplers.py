@@ -1,0 +1,113 @@
+"""Index samplers, mirroring the PyTorch DataLoader's sampling layer.
+
+Like the PyTorch DataLoader (and MinatoLoader, per paper §4.1), loaders
+request samples in a random order fixed per epoch; what differs between
+loaders is what happens *after* the indices are drawn.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["SequentialSampler", "RandomSampler", "ShardedSampler", "BatchSampler"]
+
+
+class SequentialSampler:
+    """Yields ``0..n-1`` in order, every epoch."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ConfigurationError(f"dataset size must be >= 0, got {n!r}")
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def epoch(self, epoch_index: int) -> List[int]:
+        return list(range(self._n))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.epoch(0))
+
+
+class RandomSampler:
+    """Yields a fresh seeded shuffle each epoch (deterministic per epoch)."""
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n < 0:
+            raise ConfigurationError(f"dataset size must be >= 0, got {n!r}")
+        self._n = n
+        self._seed = seed
+
+    def __len__(self) -> int:
+        return self._n
+
+    def epoch(self, epoch_index: int) -> List[int]:
+        rng = np.random.default_rng((self._seed * 7_919 + epoch_index) & 0x7FFFFFFF)
+        order = np.arange(self._n)
+        rng.shuffle(order)
+        return order.tolist()
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.epoch(0))
+
+
+class ShardedSampler:
+    """Random sampler restricted to one data-parallel rank's shard.
+
+    Matches DistributedSampler semantics: the epoch's global shuffle is
+    shared by all ranks and each rank takes a strided slice.
+    """
+
+    def __init__(self, n: int, rank: int, world_size: int, seed: int = 0) -> None:
+        if world_size < 1:
+            raise ConfigurationError(f"world_size must be >= 1, got {world_size!r}")
+        if not 0 <= rank < world_size:
+            raise ConfigurationError(f"rank {rank} out of range for {world_size}")
+        self._inner = RandomSampler(n, seed=seed)
+        self._rank = rank
+        self._world_size = world_size
+
+    def __len__(self) -> int:
+        return (len(self._inner) + self._world_size - 1 - self._rank) // self._world_size
+
+    def epoch(self, epoch_index: int) -> List[int]:
+        order = self._inner.epoch(epoch_index)
+        return order[self._rank :: self._world_size]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.epoch(0))
+
+
+class BatchSampler:
+    """Groups a sampler's indices into fixed-size batches."""
+
+    def __init__(self, sampler, batch_size: int, drop_last: bool = False) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size!r}")
+        self.sampler = sampler
+        self.batch_size = batch_size
+        self.drop_last = drop_last
+
+    def epoch(self, epoch_index: int) -> List[List[int]]:
+        indices = self.sampler.epoch(epoch_index)
+        batches = [
+            indices[i : i + self.batch_size]
+            for i in range(0, len(indices), self.batch_size)
+        ]
+        if self.drop_last and batches and len(batches[-1]) < self.batch_size:
+            batches.pop()
+        return batches
+
+    def __len__(self) -> int:
+        n = len(self.sampler)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[List[int]]:
+        return iter(self.epoch(0))

@@ -1,0 +1,149 @@
+"""Storage substrate: page cache + disk models.
+
+The paper's two testbeds read from a shared Lustre filesystem over a
+200 Gb/s interconnect (Config A) and a local 7 TB NVMe SSD (Config B).  The
+memory-constrained experiment (§5.5) caps the page cache at 80 GB with
+cgroups while streaming a 230 GB dataset, so reads constantly miss and the
+loaders hammer the disk.
+
+:class:`PageCache` is a bytes-weighted LRU keyed by sample index;
+:class:`StorageModel` turns a read into seconds for the concurrent engine
+(the simulator combines the same cache with a contended
+:class:`repro.sim.BandwidthPipe` instead).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import StorageError
+from .sample import SampleSpec
+
+__all__ = ["PageCache", "StorageSpec", "StorageModel", "NVME", "LUSTRE", "DRAM_BANDWIDTH"]
+
+GB = 1024**3
+
+#: effective copy bandwidth for page-cache hits
+DRAM_BANDWIDTH = 20.0 * GB
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Static description of a storage device/link."""
+
+    name: str
+    bandwidth: float  # bytes/second
+    latency: float  # seconds per read
+
+    def read_seconds(self, nbytes: float) -> float:
+        return self.latency + nbytes / self.bandwidth
+
+
+#: Config B local 7 TB NVMe SSD (PCIe4-class sequential bandwidth)
+NVME = StorageSpec(name="nvme", bandwidth=7.0 * GB, latency=100e-6)
+#: Config A shared Lustre over 200 Gb/s (effective per-node bandwidth)
+LUSTRE = StorageSpec(name="lustre", bandwidth=8.0 * GB, latency=1e-3)
+
+
+class PageCache:
+    """Bytes-capacity LRU cache keyed by sample index.
+
+    Thread-safe; the concurrent engine's workers share one instance.
+    """
+
+    def __init__(self, capacity_bytes: float) -> None:
+        if capacity_bytes < 0:
+            raise StorageError(f"capacity must be >= 0, got {capacity_bytes!r}")
+        self.capacity_bytes = float(capacity_bytes)
+        self._entries: "OrderedDict[int, int]" = OrderedDict()
+        self._used = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __contains__(self, key: int) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def access(self, key: int, nbytes: int) -> bool:
+        """Record an access; returns True on hit, inserts on miss.
+
+        Objects larger than the whole cache bypass it (never cached),
+        mirroring page-cache behaviour under severe memory pressure.
+        """
+        if nbytes < 0:
+            raise StorageError(f"negative object size: {nbytes!r}")
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return True
+            self.misses += 1
+            if nbytes > self.capacity_bytes:
+                return False
+            while self._used + nbytes > self.capacity_bytes and self._entries:
+                _old_key, old_size = self._entries.popitem(last=False)
+                self._used -= old_size
+                self.evictions += 1
+            self._entries[key] = nbytes
+            self._used += nbytes
+            return False
+
+    def invalidate(self, key: int) -> None:
+        with self._lock:
+            size = self._entries.pop(key, None)
+            if size is not None:
+                self._used -= size
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._used = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class StorageModel:
+    """Cache-aware read-time model for the concurrent engine.
+
+    ``read_seconds`` returns how long fetching a sample takes: a DRAM copy on
+    a page-cache hit, a device read on a miss.  With ``cache=None`` every
+    read goes to the device (cold storage).
+    """
+
+    def __init__(self, spec: StorageSpec, cache: Optional[PageCache] = None) -> None:
+        self.spec = spec
+        self.cache = cache
+        self._lock = threading.Lock()
+        self.bytes_from_disk = 0
+        self.bytes_from_cache = 0
+
+    def read_seconds(self, sample: SampleSpec) -> float:
+        nbytes = sample.raw_nbytes
+        hit = (
+            self.cache.access(sample.index, nbytes)
+            if self.cache is not None
+            else False
+        )
+        with self._lock:
+            if hit:
+                self.bytes_from_cache += nbytes
+            else:
+                self.bytes_from_disk += nbytes
+        if hit:
+            return nbytes / DRAM_BANDWIDTH
+        return self.spec.read_seconds(nbytes)

@@ -1,0 +1,138 @@
+"""Concurrent training loop: GPUs pulling batches from a loader.
+
+One thread per GPU pulls from the loader's per-GPU stream and executes the
+model's step time on its :class:`SimulatedGPU`.  Batch transfer overlaps the
+previous step (the paper's CUDA-stream prefetch, §4.3): the *pull* of batch
+``i+1`` happens while step ``i`` executes, because the loader's batch queue
+is ahead of the device.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol
+
+from ..core.batching import Batch
+from .device import SimulatedGPU
+from .metrics import ThroughputMeter
+from .models import StepTimeModel
+
+__all__ = ["Trainer", "TrainingResult", "BatchSource"]
+
+
+class BatchSource(Protocol):
+    """What the trainer needs from a loader (all loaders implement this)."""
+
+    def next_batch(self, gpu: int = 0) -> Optional[Batch]: ...
+
+    def shutdown(self, timeout: float = 5.0) -> None: ...
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one training run on the concurrent engine."""
+
+    wall_seconds: float
+    start_time: float
+    end_time: float
+    batches: int
+    samples: int
+    trained_bytes: int
+    gpu_utilization: List[float]
+    throughput: ThroughputMeter
+    devices: List[SimulatedGPU] = field(default_factory=list)
+    batch_log: List[Batch] = field(default_factory=list)
+
+    @property
+    def mean_gpu_utilization(self) -> float:
+        if not self.gpu_utilization:
+            return 0.0
+        return sum(self.gpu_utilization) / len(self.gpu_utilization)
+
+    @property
+    def throughput_mb_per_s(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.trained_bytes / self.wall_seconds / (1024 * 1024)
+
+
+class Trainer:
+    """Drives a loader with one consumer thread per GPU."""
+
+    def __init__(
+        self,
+        loader: BatchSource,
+        devices: List[SimulatedGPU],
+        model: StepTimeModel,
+        gpu_type: str = "a100",
+        max_batches_per_gpu: Optional[int] = None,
+        keep_batch_log: bool = False,
+    ) -> None:
+        if not devices:
+            raise ValueError("trainer needs at least one device")
+        self.loader = loader
+        self.devices = devices
+        self.model = model
+        self.gpu_type = gpu_type
+        self.max_batches_per_gpu = max_batches_per_gpu
+        self.keep_batch_log = keep_batch_log
+        self._lock = threading.Lock()
+        self._batches = 0
+        self._samples = 0
+        self._bytes = 0
+        self._meter = ThroughputMeter()
+        self._batch_log: List[Batch] = []
+        self._errors: List[BaseException] = []
+
+    def _gpu_loop(self, gpu: int) -> None:
+        device = self.devices[gpu]
+        world = len(self.devices)
+        done = 0
+        try:
+            while self.max_batches_per_gpu is None or done < self.max_batches_per_gpu:
+                batch = self.loader.next_batch(gpu)
+                if batch is None:
+                    return
+                step = self.model.step_time(batch.size, self.gpu_type, world_size=world)
+                _start, end = device.execute(step, tag="train")
+                self._meter.record(end, batch.nbytes)
+                with self._lock:
+                    self._batches += 1
+                    self._samples += batch.size
+                    self._bytes += batch.nbytes
+                    if self.keep_batch_log:
+                        self._batch_log.append(batch)
+                done += 1
+        except BaseException as exc:  # surface loader errors to run()
+            with self._lock:
+                self._errors.append(exc)
+
+    def run(self) -> TrainingResult:
+        clock = self.devices[0].clock
+        start = clock.now()
+        threads = [
+            threading.Thread(target=self._gpu_loop, args=(g,), name=f"trainer-gpu{g}")
+            for g in range(len(self.devices))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        end = clock.now()
+        self.loader.shutdown()
+        if self._errors:
+            raise self._errors[0]
+        utilization = [d.utilization(start, end, tag="train") for d in self.devices]
+        return TrainingResult(
+            wall_seconds=end - start,
+            start_time=start,
+            end_time=end,
+            batches=self._batches,
+            samples=self._samples,
+            trained_bytes=self._bytes,
+            gpu_utilization=utilization,
+            throughput=self._meter,
+            devices=self.devices,
+            batch_log=self._batch_log,
+        )

@@ -1,0 +1,276 @@
+"""Ablation studies on MinatoLoader's design choices (beyond the paper).
+
+The paper motivates several design decisions without ablating all of them;
+DESIGN.md calls these out and this module measures each in isolation on the
+Speech-3s workload (the most classification-sensitive):
+
+* **timeout percentile** — the paper argues P75 beats the median and uses
+  P90 as a skew fallback (§4.2).  Sweep P50..P99.
+* **adaptive worker scheduling** — Formulas 1-2 on vs a fixed pool (§4.3).
+* **slow-worker pool share** — background capacity for timed-out samples.
+* **preemption grace** — re-execute the in-flight transform (the paper's
+  preemptive design) vs finishing it cooperatively at the boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import render_table
+from ..sim.runner import run_simulation
+from ..sim.workloads import CONFIG_A, make_workload
+from .common import ExperimentReport, default_scale
+
+__all__ = [
+    "run_timeout_percentile",
+    "run_adaptive_workers",
+    "run_slow_pool",
+    "run_preemption_grace",
+    "run",
+    "main",
+]
+
+
+def run_timeout_percentile(
+    scale: Optional[float] = None,
+    percentiles: Tuple[float, ...] = (50.0, 75.0, 90.0, 99.0),
+    num_gpus: int = 4,
+) -> ExperimentReport:
+    """§4.2 choice: which percentile should the slow-sample timeout use?"""
+    scale = scale if scale is not None else default_scale()
+    report = ExperimentReport(
+        experiment_id="ablation_timeout_percentile",
+        title="Ablation: timeout percentile (paper uses P75, fallback P90)",
+        scale=scale,
+    )
+    workload = make_workload("speech_3s").scaled(scale)
+    rows = []
+    times: Dict[float, float] = {}
+    slow_fractions: Dict[float, float] = {}
+    for percentile in percentiles:
+        for adaptive in (True, False):
+            result = run_simulation(
+                "minato",
+                workload,
+                CONFIG_A,
+                num_gpus,
+                loader_kwargs={
+                    "timeout_percentile": percentile,
+                    # isolate the threshold choice from the skew fallback
+                    "fallback_percentile": max(percentile, 90.0),
+                    "adaptive_workers": adaptive,
+                    "slow_workers": None if adaptive else 24,
+                },
+            )
+            snap = result.extras["profiler"]
+            if adaptive:
+                times[percentile] = result.training_time
+                slow_fractions[percentile] = snap.recent_slow_fraction
+            rows.append(
+                (
+                    f"P{percentile:.0f}",
+                    "adaptive" if adaptive else "fixed",
+                    f"{result.training_time:.1f}",
+                    f"{result.mean_gpu_utilization * 100:.1f}",
+                    f"{snap.recent_slow_fraction * 100:.1f}",
+                )
+            )
+    report.body = render_table(
+        ["percentile", "pools", "time (s)", "GPU %", "recent slow %"],
+        rows,
+        title="Speech-3s, 4x A100:",
+    )
+    report.data["times"] = times
+    report.data["slow_fractions"] = slow_fractions
+
+    report.check(
+        "P75 not worse than the median split (paper: P75 focuses on true "
+        "outliers)",
+        times[75.0] <= times[50.0] * 1.10,
+        f"P75 {times[75.0]:.1f}s vs P50 {times[50.0]:.1f}s",
+    )
+    report.check(
+        "the percentile sets the slow-path share: P99 effectively disables "
+        "background processing while P75 defers the heavy tail "
+        "(the paper's 'slow queue stays smaller than fast')",
+        slow_fractions[99.0] < 0.05 < slow_fractions[75.0] < 0.5,
+        f"recent slow fraction: P99 {slow_fractions[99.0]:.2f} vs "
+        f"P75 {slow_fractions[75.0]:.2f}",
+    )
+    report.check(
+        "with adaptive pools the end-to-end time is robust to the "
+        "percentile choice (the scheduler re-balances capacity)",
+        max(times.values()) <= min(times.values()) * 1.25,
+        f"range {min(times.values()):.1f}-{max(times.values()):.1f}s",
+    )
+    return report
+
+
+def run_adaptive_workers(
+    scale: Optional[float] = None, num_gpus: int = 4
+) -> ExperimentReport:
+    """§4.3 choice: adaptive pool vs the fixed 12-per-GPU default."""
+    scale = scale if scale is not None else default_scale()
+    report = ExperimentReport(
+        experiment_id="ablation_adaptive_workers",
+        title="Ablation: adaptive worker scheduling (Formulas 1-2) on vs off",
+        scale=scale,
+    )
+    workload = make_workload("speech_3s").scaled(scale)
+    adaptive = run_simulation("minato", workload, CONFIG_A, num_gpus)
+    fixed = run_simulation(
+        "minato",
+        workload,
+        CONFIG_A,
+        num_gpus,
+        loader_kwargs={"adaptive_workers": False},
+    )
+    rows = [
+        ("adaptive", f"{adaptive.training_time:.1f}",
+         f"{adaptive.mean_gpu_utilization * 100:.1f}",
+         f"{adaptive.cpu_utilization * 100:.1f}"),
+        ("fixed 12/GPU", f"{fixed.training_time:.1f}",
+         f"{fixed.mean_gpu_utilization * 100:.1f}",
+         f"{fixed.cpu_utilization * 100:.1f}"),
+    ]
+    report.body = render_table(
+        ["scheduler", "time (s)", "GPU %", "CPU %"], rows, title="Speech-3s:"
+    )
+    report.data["adaptive"] = adaptive
+    report.data["fixed"] = fixed
+    report.check(
+        "adaptive scheduling speeds up the CPU-bound workload",
+        adaptive.training_time < fixed.training_time * 0.9,
+        f"{adaptive.training_time:.1f}s vs {fixed.training_time:.1f}s",
+    )
+    history = adaptive.extras["worker_history"]
+    report.check(
+        "the scheduler actually grew the pool",
+        bool(history) and max(d.new_workers for d in history) > 48,
+        f"peak pool {max((d.new_workers for d in history), default=0)}",
+    )
+    return report
+
+
+def run_slow_pool(
+    scale: Optional[float] = None,
+    pools: Tuple[int, ...] = (2, 8, 24, 48),
+    num_gpus: int = 4,
+) -> ExperimentReport:
+    """How much background capacity do timed-out samples need?"""
+    scale = scale if scale is not None else default_scale()
+    report = ExperimentReport(
+        experiment_id="ablation_slow_pool",
+        title="Ablation: slow-task worker pool size (fixed pools)",
+        scale=scale,
+    )
+    workload = make_workload("speech_3s").scaled(scale)
+    times: Dict[int, float] = {}
+    rows = []
+    for pool in pools:
+        result = run_simulation(
+            "minato",
+            workload,
+            CONFIG_A,
+            num_gpus,
+            loader_kwargs={"adaptive_workers": False, "slow_workers": pool},
+        )
+        times[pool] = result.training_time
+        rows.append(
+            (pool, f"{result.training_time:.1f}",
+             f"{result.mean_gpu_utilization * 100:.1f}")
+        )
+    report.body = render_table(
+        ["slow workers", "time (s)", "GPU %"], rows, title="Speech-3s, fixed pools:"
+    )
+    report.data["times"] = times
+    report.check(
+        "an undersized slow pool throttles the whole pipeline "
+        "(temp-queue backpressure)",
+        times[pools[0]] > min(times.values()) * 1.3,
+        f"{pools[0]} workers: {times[pools[0]]:.1f}s vs best "
+        f"{min(times.values()):.1f}s",
+    )
+    report.check(
+        "returns diminish once the slow path keeps up",
+        times[pools[-1]] >= min(times.values()) * 0.85,
+        f"{pools[-1]} workers: {times[pools[-1]]:.1f}s",
+    )
+    return report
+
+
+def run_preemption_grace(
+    scale: Optional[float] = None, num_gpus: int = 4
+) -> ExperimentReport:
+    """Preemptive re-execution (paper) vs cooperative boundary handoff."""
+    scale = scale if scale is not None else default_scale()
+    report = ExperimentReport(
+        experiment_id="ablation_preemption",
+        title="Ablation: mid-transform preemption vs cooperative handoff",
+        scale=scale,
+    )
+    workload = make_workload("speech_3s").scaled(scale)
+    preemptive = run_simulation(
+        "minato",
+        workload,
+        CONFIG_A,
+        num_gpus,
+        loader_kwargs={"preempt_grace_abs": 0.1, "preempt_grace_rel": 0.2},
+    )
+    # enormous grace = always finish the in-flight transform (cooperative)
+    cooperative = run_simulation(
+        "minato",
+        workload,
+        CONFIG_A,
+        num_gpus,
+        loader_kwargs={"preempt_grace_abs": 1e9, "preempt_grace_rel": 1e9},
+    )
+    rows = [
+        ("preemptive (paper)", f"{preemptive.training_time:.1f}",
+         f"{preemptive.mean_gpu_utilization * 100:.1f}"),
+        ("cooperative", f"{cooperative.training_time:.1f}",
+         f"{cooperative.mean_gpu_utilization * 100:.1f}"),
+    ]
+    report.body = render_table(
+        ["mode", "time (s)", "GPU %"], rows, title="Speech-3s:"
+    )
+    report.data["preemptive"] = preemptive
+    report.data["cooperative"] = cooperative
+    report.check(
+        "preempting long transforms frees loading workers "
+        "(HeavyStep dominates a sample, so cooperative handoff keeps the "
+        "critical path busy ~3 s per heavy sample)",
+        preemptive.training_time <= cooperative.training_time * 1.05,
+        f"preemptive {preemptive.training_time:.1f}s vs cooperative "
+        f"{cooperative.training_time:.1f}s",
+    )
+    return report
+
+
+def run(scale: Optional[float] = None) -> ExperimentReport:
+    """Run all ablations; the combined report nests the individual bodies."""
+    scale = scale if scale is not None else default_scale()
+    parts = [
+        run_timeout_percentile(scale),
+        run_adaptive_workers(scale),
+        run_slow_pool(scale),
+        run_preemption_grace(scale),
+    ]
+    combined = ExperimentReport(
+        experiment_id="ablations",
+        title="Design-choice ablations (beyond the paper)",
+        scale=scale,
+    )
+    combined.body = "\n\n".join(f"{p.title}\n{p.body}" for p in parts)
+    for part in parts:
+        combined.checks.extend(part.checks)
+        combined.data[part.experiment_id] = part.data
+    return combined
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Shared machinery for the per-figure experiment runners.
+
+Every module in :mod:`repro.experiments` exposes ``run(...) ->
+ExperimentReport`` plus a ``main()`` that prints the report.  Reports carry:
+
+* the regenerated table/series (text, printable),
+* structured data (for benchmarks and EXPERIMENTS.md),
+* *shape checks*: the paper's qualitative claims evaluated against the
+  measured numbers (who wins, by roughly what factor, where crossovers sit).
+
+Run length scales with ``scale`` (1.0 = the paper's full Table 3 configs).
+The default comes from the ``REPRO_SCALE`` environment variable so benchmark
+machines can dial fidelity against wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Check", "ExperimentReport", "default_scale"]
+
+_DEFAULT_SCALE = 0.1
+
+
+def default_scale() -> float:
+    """Run-length scale factor (``REPRO_SCALE`` env var, default 0.1)."""
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return _DEFAULT_SCALE
+    try:
+        value = float(raw)
+    except ValueError:
+        return _DEFAULT_SCALE
+    return min(max(value, 0.001), 1.0)
+
+
+@dataclass
+class Check:
+    """One paper claim evaluated against measured data."""
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "MISS"
+        out = f"  [{mark}] {self.claim}"
+        if self.detail:
+            out += f"  ({self.detail})"
+        return out
+
+
+@dataclass
+class ExperimentReport:
+    """Output of one experiment runner."""
+
+    experiment_id: str
+    title: str
+    body: str = ""
+    checks: List[Check] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+    scale: float = 1.0
+
+    def check(self, claim: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(Check(claim=claim, passed=passed, detail=detail))
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def passed_count(self) -> int:
+        return sum(1 for c in self.checks if c.passed)
+
+    def render(self) -> str:
+        lines = [
+            f"=== {self.experiment_id}: {self.title} (scale={self.scale:g}) ===",
+            self.body,
+            "",
+            f"Shape checks ({self.passed_count}/{len(self.checks)} hold):",
+        ]
+        lines.extend(c.render() for c in self.checks)
+        return "\n".join(lines)
+
+    def save(self, output_dir: str) -> str:
+        os.makedirs(output_dir, exist_ok=True)
+        path = os.path.join(output_dir, f"{self.experiment_id}.txt")
+        with open(path, "w") as fh:
+            fh.write(self.render() + "\n")
+        return path

@@ -1,0 +1,27 @@
+"""Discrete-event simulation substrate.
+
+This subpackage provides the virtual-time kernel (:mod:`repro.sim.kernel`),
+queues (:mod:`repro.sim.stores`), resources (:mod:`repro.sim.resources`), the
+workload specifications matching the paper's Table 1/Table 2
+(:mod:`repro.sim.workloads`), the four loader pipeline models
+(:mod:`repro.sim.loaders`) and the experiment runner (:mod:`repro.sim.runner`).
+"""
+
+from .kernel import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
+from .resources import BandwidthPipe, Request, Resource
+from .stores import PriorityStore, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Store",
+    "PriorityStore",
+    "Resource",
+    "Request",
+    "BandwidthPipe",
+]

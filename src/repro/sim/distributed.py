@@ -1,0 +1,177 @@
+"""Distributed (multi-node) training extension (paper §6).
+
+The paper argues MinatoLoader generalizes to distributed data-parallel
+training: every node runs its own loader instance over a shard of the
+dataset, and the per-node preprocessing/batch-construction benefits carry
+over unchanged, with gradient synchronization coupling the nodes per step.
+
+This module simulates that setting: ``nodes`` identical machines, each with
+its own storage, CPU pool and GPUs, plus a cluster-wide all-reduce barrier
+per training step whose cost grows with the world size (ring all-reduce:
+latency term x 2(world-1)/world plus a bandwidth term).
+
+The claim validated by :func:`repro.experiments.distributed.run`: Minato's
+advantage over the PyTorch loader persists as nodes are added, because the
+bottleneck it removes is node-local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.metrics import average_utilization
+from ..errors import ConfigurationError
+from .kernel import AllOf, Environment
+from .loaders import SimContext
+from .runner import make_sim_loader
+from .workloads import HardwareConfig, WorkloadSpec
+
+__all__ = ["AllReduceModel", "DistributedResult", "run_distributed"]
+
+
+@dataclass(frozen=True)
+class AllReduceModel:
+    """Per-step gradient synchronization cost across the whole cluster."""
+
+    #: per-step base latency of one ring stage (network RTT-ish)
+    latency: float = 0.0015
+    #: gradient bytes exchanged per step
+    gradient_bytes: float = 400e6
+    #: interconnect bandwidth per node (bytes/s)
+    bandwidth: float = 25e9  # 200 Gb/s
+
+    def step_cost(self, world_size: int) -> float:
+        if world_size <= 1:
+            return 0.0
+        ring_fraction = 2.0 * (world_size - 1) / world_size
+        return self.latency * (world_size - 1) + ring_fraction * (
+            self.gradient_bytes / self.bandwidth
+        )
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of one multi-node simulated run."""
+
+    loader: str
+    workload: str
+    nodes: int
+    gpus_per_node: int
+    training_time: float
+    steps: int
+    samples: int
+    #: mean train-tag GPU utilization across every GPU in the cluster
+    gpu_utilization: float
+    #: mean CPU utilization across nodes
+    cpu_utilization: float
+    sync_seconds_total: float = 0.0
+
+    @property
+    def world_size(self) -> int:
+        return self.nodes * self.gpus_per_node
+
+
+def run_distributed(
+    loader_name: str,
+    workload: WorkloadSpec,
+    hardware: HardwareConfig,
+    nodes: int,
+    gpus_per_node: int = 1,
+    allreduce: Optional[AllReduceModel] = None,
+    loader_kwargs: Optional[dict] = None,
+    steps_per_gpu: Optional[int] = None,
+) -> DistributedResult:
+    """Simulate data-parallel training across ``nodes`` machines.
+
+    Every node runs an independent loader instance (its own SimContext:
+    storage, page cache, CPU cores, GPUs).  Training is synchronous: all
+    GPUs in the cluster execute step ``k``, then join a cluster-wide
+    all-reduce before step ``k+1`` -- DDP semantics.
+    """
+    if nodes < 1:
+        raise ConfigurationError(f"nodes must be >= 1, got {nodes!r}")
+    allreduce = allreduce if allreduce is not None else AllReduceModel()
+    env = Environment()
+    contexts: List[SimContext] = []
+    loaders = []
+    for _node in range(nodes):
+        ctx = SimContext(env, workload, hardware, gpus_per_node)
+        loader = make_sim_loader(loader_name, **(loader_kwargs or {}))
+        loader.start(ctx)
+        contexts.append(ctx)
+        loaders.append(loader)
+
+    world = nodes * gpus_per_node
+    if steps_per_gpu is None:
+        steps_per_gpu = workload.batches_per_gpu(gpus_per_node)
+    sync_cost = allreduce.step_cost(world)
+
+    counters = {"steps": 0, "samples": 0, "sync": 0.0}
+    # per-step barrier: each participant arrives, the last one releases all
+    barrier_state: Dict[int, List] = {}
+
+    def arrive(step_index: int):
+        event = barrier_state.get(step_index)
+        if event is None:
+            event = [env.event(), 0]
+            barrier_state[step_index] = event
+        event[1] += 1
+        if event[1] == world:
+            event[0].succeed()
+            barrier_state.pop(step_index, None)
+        return event[0]
+
+    def gpu_proc(node: int, gpu: int):
+        ctx = contexts[node]
+        loader = loaders[node]
+        for step_index in range(steps_per_gpu):
+            batch = yield from loader.get_batch(gpu)
+            if batch is None:
+                return
+            step = workload.model.step_time(
+                batch.size, hardware.gpu_type, world_size=1
+            )
+            yield from ctx.train_step(gpu, step)
+            counters["steps"] += 1
+            counters["samples"] += batch.size
+            if world > 1:
+                barrier = arrive(step_index)
+                yield barrier
+                if sync_cost > 0:
+                    yield env.timeout(sync_cost)
+                    counters["sync"] += sync_cost
+
+    procs = [
+        env.process(gpu_proc(node, gpu))
+        for node in range(nodes)
+        for gpu in range(gpus_per_node)
+    ]
+    env.run(until=AllOf(env, procs))
+    duration = env.now
+
+    gpu_utils = [
+        average_utilization(
+            [i for i in rec.intervals if i.tag == "train"], 0.0, duration
+        )
+        for ctx in contexts
+        for rec in ctx.gpu_recorders
+    ]
+    cpu_utils = [
+        average_utilization(
+            ctx.cpu_recorder.intervals, 0.0, duration, capacity=hardware.cpu_cores
+        )
+        for ctx in contexts
+    ]
+    return DistributedResult(
+        loader=loader_name,
+        workload=workload.name,
+        nodes=nodes,
+        gpus_per_node=gpus_per_node,
+        training_time=duration,
+        steps=counters["steps"],
+        samples=counters["samples"],
+        gpu_utilization=sum(gpu_utils) / len(gpu_utils),
+        cpu_utilization=sum(cpu_utils) / len(cpu_utils),
+        sync_seconds_total=counters["sync"],
+    )

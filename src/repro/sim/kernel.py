@@ -1,0 +1,376 @@
+"""A small discrete-event simulation kernel (SimPy-flavoured).
+
+The paper's evaluation runs for hundreds of wall-clock seconds per data point
+(and up to 14 days for the accuracy study).  This kernel lets us execute the
+*same pipeline semantics* in virtual time: processes are Python generators
+that ``yield`` events (timeouts, queue operations, resource requests) and an
+:class:`Environment` advances a global virtual clock from event to event.
+
+Only the features needed by the loader models are implemented:
+
+* :class:`Environment` -- event heap, virtual ``now``, ``run(until=...)``.
+* :class:`Event` / :class:`Timeout` -- basic triggerable events.
+* :class:`Process` -- generator-driven coroutine with ``interrupt`` support
+  (used to model the paper's mid-transformation preemption of slow samples).
+* :class:`AnyOf` / :class:`AllOf` -- composite conditions.
+
+Queues and resources live in :mod:`repro.sim.stores` and
+:mod:`repro.sim.resources`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import EmptySchedule, SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+]
+
+_PENDING = object()
+
+#: Event scheduling priorities. Urgent events (process resumptions) run before
+#: normal events scheduled for the same instant, mirroring SimPy's behaviour.
+URGENT = 0
+NORMAL = 1
+
+
+class Interrupt(Exception):
+    """Thrown inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """An event that may eventually *succeed* or *fail*.
+
+    Callbacks are invoked with the event as their only argument when the
+    environment processes the event.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: set True once a failure's exception was consumed by somebody;
+        #: unhandled failures surface in Environment.step().
+        self._defused = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self._ok is None else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    @property
+    def triggered(self) -> bool:
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() expects an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` virtual seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class _Initialize(Event):
+    """Immediate event that starts a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A process driven by a generator.
+
+    The process itself is an event that triggers when the generator returns
+    (value = the generator's return value) or raises (failure).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process expects a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for (if any)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self._target is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event, URGENT, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        # Drop the subscription on the event we were waiting for (if we are
+        # being resumed by an interrupt instead of that event).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        self.env._active = self
+
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                exc = event._value
+                next_event = self._generator.throw(exc)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self, URGENT, 0.0)
+            self.env._active = None
+            return
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self, URGENT, 0.0)
+            self.env._active = None
+            return
+        finally:
+            self.env._active = None
+
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded a non-event: {next_event!r} "
+                f"(from {self._generator!r})"
+            )
+        if next_event.callbacks is None:
+            # Already processed: resume immediately at the current instant.
+            resume = Event(self.env)
+            resume._ok = next_event._ok
+            resume._value = next_event._value
+            if not next_event._ok:
+                next_event._defused = True
+                resume._defused = True
+            resume.callbacks.append(self._resume)
+            self.env._schedule(resume, URGENT, 0.0)
+            self._target = resume
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._done = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._satisfied():
+            # Only events that have actually been *processed* contribute a
+            # value (a Timeout is "triggered" from creation, but its value is
+            # not observable until its scheduled instant).
+            self.succeed(
+                {e: e._value for e in self._events if e.callbacks is None and e._ok}
+            )
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one of the events triggers."""
+
+    def _satisfied(self) -> bool:
+        return self._done >= 1
+
+
+class AllOf(_Condition):
+    """Triggers once all events have triggered."""
+
+    def _satisfied(self) -> bool:
+        return self._done >= len(self._events)
+
+
+class Environment:
+    """Coordinates processes and advances virtual time."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = 0
+        self._active: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event.  Raises :class:`EmptySchedule` if none."""
+        if not self._queue:
+            raise EmptySchedule("no more events scheduled")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            # Unhandled failure: surface it to the caller of run()/step().
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the schedule drains), a number
+        (run until virtual time reaches it), or an :class:`Event` (run until
+        it is processed, returning its value).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            if sentinel.callbacks is None:
+                return sentinel._value
+            done = []
+            sentinel.callbacks.append(lambda event: done.append(event))
+            while not done:
+                if not self._queue:
+                    raise EmptySchedule(
+                        "schedule drained before the target event triggered"
+                    )
+                self.step()
+            if sentinel._ok:
+                return sentinel._value
+            sentinel._defused = True
+            raise sentinel._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(
+                f"cannot run backwards: until={horizon} < now={self._now}"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,794 @@
+"""Discrete-event models of the four data loaders (paper §2.1, §4).
+
+Each model reproduces its loader's *scheduling semantics* in virtual time;
+per-sample preprocessing costs come from the same calibrated cost models the
+concurrent engine charges (Table 2), so the two substrates agree
+sample-by-sample.
+
+* :class:`SimTorchLoader` -- one loader instance (the paper's single-process
+  multi-GPU setup) with 12 workers, whole-batch-per-worker processing,
+  ``prefetch_factor`` in-flight batches per worker, strictly in-order
+  delivery, single-threaded collation, and a worker-pool restart at every
+  epoch boundary.  Head-of-line blocking emerges, it is not hard-coded.
+* :class:`SimPecanLoader` -- Torch semantics over the AutoOrder-reordered
+  pipeline (paper §5.1).
+* :class:`SimDALILoader` -- one pipeline per GPU; CPU threads load raw
+  samples ahead; preprocessing executes per batch **on the GPU resource** at
+  a 10x discount, contending with training (§3.5); ``prefetch_queue_depth``
+  buffers between stages.
+* :class:`SimMinatoLoader` -- Algorithm 1 with the paper's *preemptive*
+  accounting: when the timeout fires mid-transform, the in-flight transform's
+  partial work is discarded and it re-executes fully in a background
+  slow-task worker.  Fast/slow routing uses a priority store (fast first),
+  per-GPU batch queues, warm-up profiling with P75/P90 thresholds, and the
+  Formula 1-2 worker scheduler resizing the loading-worker pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Iterator, List, Optional, Tuple
+
+from ..core.profiler import TimeoutProfiler
+from ..core.scheduler import SchedulerDecision, WorkerScheduler
+from ..data.sample import SampleSpec
+from ..data.samplers import BatchSampler, RandomSampler, ShardedSampler
+from ..data.storage import DRAM_BANDWIDTH, PageCache
+from ..engine.metrics import IntervalRecorder, ThroughputMeter
+from ..errors import ConfigurationError
+from .kernel import AllOf, Environment
+from .resources import BandwidthPipe, Resource
+from .stores import PriorityStore, Store
+from .workloads import HardwareConfig, WorkloadSpec
+
+__all__ = [
+    "SimContext",
+    "SimBatch",
+    "SimTorchLoader",
+    "SimPecanLoader",
+    "SimDALILoader",
+    "SimMinatoLoader",
+    "END",
+]
+
+#: end-of-stream sentinel on batch stores
+END = object()
+
+_FAST_KEY = 0
+_SLOW_KEY = 1
+
+
+@dataclass
+class SimBatch:
+    """A preprocessed batch in the simulator."""
+
+    specs: List[SampleSpec]
+    nbytes: int
+    built_at: float
+    slow_count: int = 0
+    gpu: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.specs)
+
+
+class SimContext:
+    """Shared run infrastructure: devices, storage, recorders, counters."""
+
+    def __init__(
+        self,
+        env: Environment,
+        workload: WorkloadSpec,
+        hardware: HardwareConfig,
+        num_gpus: int,
+        cache_fraction: float = 0.8,
+    ) -> None:
+        if not 1 <= num_gpus <= hardware.max_gpus:
+            raise ConfigurationError(
+                f"{hardware.name} has at most {hardware.max_gpus} GPUs, "
+                f"got {num_gpus}"
+            )
+        self.env = env
+        self.workload = workload
+        self.hardware = hardware
+        self.num_gpus = num_gpus
+        self.disk = BandwidthPipe(
+            env, hardware.storage.bandwidth, hardware.storage.latency
+        )
+        self.cache = PageCache(hardware.memory_bytes * cache_fraction)
+        #: physical CPU cores: all CPU-side work queues here, so no loader
+        #: can use more parallelism than the machine has
+        self.cores = Resource(env, capacity=hardware.cpu_cores)
+        self.gpus = [Resource(env, capacity=1) for _ in range(num_gpus)]
+        self.gpu_recorders = [IntervalRecorder(f"gpu{g}") for g in range(num_gpus)]
+        self.cpu_recorder = IntervalRecorder("cpu")
+        self.meter = ThroughputMeter()
+        self.cpu_busy_seconds = 0.0
+        self.cpu_busy_by_tag: dict = {}
+        self.samples_preprocessed = 0
+        self.samples_slow = 0
+        self.batches_built = 0
+
+    # -- storage -----------------------------------------------------------------
+
+    def read_sample(self, spec: SampleSpec) -> Generator:
+        """Fetch a sample: page-cache hit (DRAM copy) or disk transfer."""
+        hit = self.cache.access(spec.index, spec.raw_nbytes)
+        if hit:
+            yield self.env.timeout(spec.raw_nbytes / DRAM_BANDWIDTH)
+        else:
+            yield self.disk.transfer(spec.raw_nbytes)
+
+    # -- CPU accounting -------------------------------------------------------------
+
+    def cpu_busy(self, seconds: float, tag: str = "preprocess") -> Generator:
+        """Consume CPU time on one core (queueing if all cores are busy)."""
+        if seconds <= 0:
+            return
+        with self.cores.request() as req:
+            yield req
+            start = self.env.now
+            yield self.env.timeout(seconds)
+            self.cpu_recorder.record(start, self.env.now, tag)
+            self.cpu_busy_seconds += seconds
+            self.cpu_busy_by_tag[tag] = self.cpu_busy_by_tag.get(tag, 0.0) + seconds
+
+    # -- training-side hooks ------------------------------------------------------------
+
+    def train_step(self, gpu: int, seconds: float) -> Generator:
+        """Execute one training step on a GPU (contends with DALI preprocess)."""
+        with self.gpus[gpu].request() as req:
+            yield req
+            start = self.env.now
+            yield self.env.timeout(seconds)
+            self.gpu_recorders[gpu].record(start, self.env.now, "train")
+
+    def gpu_preprocess(self, gpu: int, seconds: float) -> Generator:
+        with self.gpus[gpu].request() as req:
+            yield req
+            start = self.env.now
+            yield self.env.timeout(seconds)
+            self.gpu_recorders[gpu].record(start, self.env.now, "preprocess")
+
+
+def _index_stream(dataset, seed: int) -> Iterator[Tuple[int, int]]:
+    """Infinite (epoch, index) stream cycling shuffled epochs."""
+    sampler = RandomSampler(len(dataset), seed=seed)
+    epoch = 0
+    while True:
+        for index in sampler.epoch(epoch):
+            yield epoch, index
+        epoch += 1
+
+
+def _deal_batch_plan(
+    total_samples: int, batch_size: int, num_gpus: int
+) -> List[List[int]]:
+    """Per-GPU list of batch sizes, dealing batch-size chunks round-robin."""
+    plan: List[List[int]] = [[] for _ in range(num_gpus)]
+    gpu = 0
+    remaining = total_samples
+    while remaining > 0:
+        take = min(batch_size, remaining)
+        plan[gpu].append(take)
+        remaining -= take
+        gpu = (gpu + 1) % num_gpus
+    return plan
+
+
+class BaseSimLoader:
+    """Common surface: batch stores + per-GPU consumption generators."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.batch_stores: List[Store] = []
+        self.ctx: Optional[SimContext] = None
+        # cost-model results are deterministic per sample: memoize them
+        # (sims revisit samples every epoch)
+        self._cost_cache: dict = {}
+        self._bytes_cache: dict = {}
+        self._profile_cache: dict = {}
+
+    def start(self, ctx: SimContext) -> None:
+        raise NotImplementedError
+
+    def total_cost(self, spec: SampleSpec) -> float:
+        value = self._cost_cache.get(spec.index)
+        if value is None:
+            value = self.pipeline.total_cost(spec)
+            self._cost_cache[spec.index] = value
+        return value
+
+    def output_nbytes(self, spec: SampleSpec) -> int:
+        value = self._bytes_cache.get(spec.index)
+        if value is None:
+            value = self.pipeline.output_nbytes(spec)
+            self._bytes_cache[spec.index] = value
+        return value
+
+    def cost_profile(self, spec: SampleSpec) -> List[float]:
+        value = self._profile_cache.get(spec.index)
+        if value is None:
+            value = self.pipeline.cost_profile(spec)
+            self._profile_cache[spec.index] = value
+        return value
+
+    def get_batch(self, gpu: int) -> Generator:
+        """Process-style fetch; returns a SimBatch or None at end."""
+        item = yield self.batch_stores[gpu].get()
+        if item is END:
+            return None
+        return item
+
+
+# ---------------------------------------------------------------------------
+# PyTorch DataLoader semantics
+# ---------------------------------------------------------------------------
+
+
+class SimTorchLoader(BaseSimLoader):
+    """Single-instance PyTorch-DataLoader model feeding all GPUs in order."""
+
+    name = "pytorch"
+
+    def __init__(
+        self,
+        num_workers: int = 12,
+        prefetch_factor: int = 2,
+        persistent_workers: bool = False,
+        pin_memory_bandwidth: Optional[float] = 2.0 * 1024**3,
+        worker_startup_seconds: float = 0.5,
+        queue_capacity: int = 100,
+        pipeline_override=None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.num_workers = num_workers
+        self.prefetch_factor = prefetch_factor
+        self.persistent_workers = persistent_workers
+        self.pin_memory_bandwidth = pin_memory_bandwidth
+        self.worker_startup_seconds = worker_startup_seconds
+        self.queue_capacity = queue_capacity
+        self.pipeline_override = pipeline_override
+        self.seed = seed
+
+    def start(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+        env = ctx.env
+        self.pipeline = (
+            self.pipeline_override
+            if self.pipeline_override is not None
+            else ctx.workload.pipeline
+        )
+        self.batch_stores = [
+            Store(env, capacity=self.queue_capacity) for _ in range(ctx.num_gpus)
+        ]
+        self.total_batches = ctx.workload.total_batches(ctx.num_gpus)
+        env.process(self._orchestrator())
+
+    def _orchestrator(self) -> Generator:
+        ctx = self.ctx
+        env = ctx.env
+        dataset = ctx.workload.dataset
+        sampler = RandomSampler(len(dataset), seed=self.seed)
+        delivered = 0
+        epoch = 0
+        started_persistent = False
+        # iteration-based workloads (Table 3) train on full batches only
+        drop_last = ctx.workload.iterations is not None
+        while delivered < self.total_batches:
+            batches = BatchSampler(
+                sampler, ctx.workload.batch_size, drop_last=drop_last
+            ).epoch(epoch)
+            batches = batches[: self.total_batches - delivered]
+            restart = not self.persistent_workers or not started_persistent
+            if restart and self.worker_startup_seconds > 0:
+                # worker pool (re)spawn: the pipeline is empty while workers
+                # initialize -- the paper's epoch-boundary stall
+                yield env.timeout(self.worker_startup_seconds)
+            started_persistent = True
+            events = [env.event() for _ in batches]
+            workers = min(self.num_workers, max(1, len(batches)))
+            permits = [Store(env) for _ in range(workers)]
+            for w in range(workers):
+                for _ in range(self.prefetch_factor):
+                    permits[w].try_put(1)
+            procs = []
+            for w in range(workers):
+                assigned = [(s, batches[s]) for s in range(w, len(batches), workers)]
+                procs.append(env.process(self._worker(assigned, permits[w], events, epoch)))
+            # in-order delivery with single-threaded collation
+            for seq in range(len(batches)):
+                batch: SimBatch = yield events[seq]
+                if self.pin_memory_bandwidth is not None:
+                    yield from ctx.cpu_busy(
+                        batch.nbytes / self.pin_memory_bandwidth, tag="collate"
+                    )
+                gpu = delivered % ctx.num_gpus
+                batch.gpu = gpu
+                ctx.batches_built += 1
+                yield self.batch_stores[gpu].put(batch)
+                permits[seq % workers].try_put(1)
+                delivered += 1
+            yield AllOf(env, procs)
+            epoch += 1
+        for store in self.batch_stores:
+            yield store.put(END)
+
+    def _worker(self, assigned, permit_store, events, epoch) -> Generator:
+        ctx = self.ctx
+        for seq, indices in assigned:
+            yield permit_store.get()
+            specs = [ctx.workload.dataset.spec(i) for i in indices]
+            nbytes = 0
+            for spec in specs:
+                yield from ctx.read_sample(spec)
+                cost = self.total_cost(spec)
+                yield from ctx.cpu_busy(cost)
+                nbytes += self.output_nbytes(spec)
+                ctx.samples_preprocessed += 1
+            events[seq].succeed(
+                SimBatch(specs=specs, nbytes=nbytes, built_at=ctx.env.now)
+            )
+
+
+class SimPecanLoader(SimTorchLoader):
+    """Torch semantics over the AutoOrder-reordered pipeline (paper §5.1)."""
+
+    name = "pecan"
+
+    def start(self, ctx: SimContext) -> None:
+        from ..transforms.classify import auto_order
+
+        dataset = ctx.workload.dataset
+        specs = [dataset.spec(i) for i in range(min(64, len(dataset)))]
+        reordered, order = auto_order(ctx.workload.pipeline, specs)
+        self.auto_order_permutation = order
+        self.pipeline_override = reordered
+        super().start(ctx)
+
+
+# ---------------------------------------------------------------------------
+# DALI semantics
+# ---------------------------------------------------------------------------
+
+
+class SimDALILoader(BaseSimLoader):
+    """Per-GPU DALI pipeline: CPU loading + GPU batch preprocessing."""
+
+    name = "dali"
+
+    def __init__(
+        self,
+        num_threads_per_gpu: int = 4,
+        prefetch_queue_depth: int = 2,
+        gpu_speedup: float = 10.0,
+        cpu_decode_bandwidth: float = 2.0 * 1024**3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.num_threads_per_gpu = num_threads_per_gpu
+        self.prefetch_queue_depth = prefetch_queue_depth
+        self.gpu_speedup = gpu_speedup
+        self.cpu_decode_bandwidth = cpu_decode_bandwidth
+        self.seed = seed
+
+    def start(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+        env = ctx.env
+        self.pipeline = ctx.workload.pipeline
+        depth = self.prefetch_queue_depth
+        batch = ctx.workload.batch_size
+        self.batch_stores = [Store(env, capacity=depth) for _ in range(ctx.num_gpus)]
+        self._raw_stores = [
+            Store(env, capacity=depth * batch) for _ in range(ctx.num_gpus)
+        ]
+        per_gpu = ctx.workload.batches_per_gpu(ctx.num_gpus)
+        for gpu in range(ctx.num_gpus):
+            needed = per_gpu * batch
+            per_thread = needed // self.num_threads_per_gpu
+            extra = needed - per_thread * self.num_threads_per_gpu
+            stream = self._shard_stream(gpu)
+            for t in range(self.num_threads_per_gpu):
+                count = per_thread + (1 if t < extra else 0)
+                env.process(self._load_stage(gpu, stream, count))
+            env.process(self._gpu_stage(gpu, per_gpu))
+
+    def _shard_stream(self, gpu: int) -> Iterator[int]:
+        sampler = ShardedSampler(
+            len(self.ctx.workload.dataset),
+            rank=gpu,
+            world_size=self.ctx.num_gpus,
+            seed=self.seed,
+        )
+        epoch = 0
+        while True:
+            for index in sampler.epoch(epoch):
+                yield index
+            epoch += 1
+
+    def _load_stage(self, gpu: int, stream: Iterator[int], count: int) -> Generator:
+        ctx = self.ctx
+        for _ in range(count):
+            index = next(stream)
+            spec = ctx.workload.dataset.spec(index)
+            yield from ctx.read_sample(spec)
+            # host-side read/decode work before the GPU stage
+            yield from ctx.cpu_busy(
+                spec.raw_nbytes / self.cpu_decode_bandwidth, tag="decode"
+            )
+            yield self._raw_stores[gpu].put(spec)
+
+    def _gpu_stage(self, gpu: int, target_batches: int) -> Generator:
+        ctx = self.ctx
+        batch_size = ctx.workload.batch_size
+        for _ in range(target_batches):
+            specs = []
+            for _ in range(batch_size):
+                spec = yield self._raw_stores[gpu].get()
+                specs.append(spec)
+            gpu_cost = sum(self.total_cost(s) for s in specs) / self.gpu_speedup
+            yield from ctx.gpu_preprocess(gpu, gpu_cost)
+            nbytes = sum(self.output_nbytes(s) for s in specs)
+            ctx.samples_preprocessed += len(specs)
+            ctx.batches_built += 1
+            yield self.batch_stores[gpu].put(
+                SimBatch(specs=specs, nbytes=nbytes, built_at=ctx.env.now, gpu=gpu)
+            )
+        yield self.batch_stores[gpu].put(END)
+
+
+# ---------------------------------------------------------------------------
+# MinatoLoader semantics
+# ---------------------------------------------------------------------------
+
+
+class SimMinatoLoader(BaseSimLoader):
+    """Algorithm 1 + adaptive worker scheduling, with preemptive accounting."""
+
+    name = "minato"
+
+    def __init__(
+        self,
+        workers_per_gpu: int = 12,
+        slow_workers: Optional[int] = None,
+        queue_capacity: int = 100,
+        poll_interval: float = 0.010,
+        timeout_percentile: float = 75.0,
+        fallback_percentile: float = 90.0,
+        warmup_samples: int = 64,
+        timeout_override: Optional[float] = None,
+        adaptive_workers: bool = True,
+        max_workers: Optional[int] = None,
+        min_workers: int = 1,
+        scheduler_interval: float = 1.0,
+        alpha: float = 2.0,
+        beta: float = 2.0,
+        cpu_threshold: float = 0.7,
+        delta_clip: int = 2,
+        preempt_grace_abs: float = 0.1,
+        preempt_grace_rel: float = 0.2,
+        classifier: str = "timeout",
+        size_percentile: float = 75.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if classifier not in ("timeout", "size"):
+            raise ConfigurationError(
+                f"classifier must be 'timeout' or 'size', got {classifier!r}"
+            )
+        self.workers_per_gpu = workers_per_gpu
+        #: None -> scale with the loading pool (a third), min 2
+        self.slow_workers = slow_workers
+        self.preempt_grace_abs = preempt_grace_abs
+        self.preempt_grace_rel = preempt_grace_rel
+        #: 'timeout' = Algorithm 1 (measure); 'size' = paper §3.2's image-size
+        #: heuristic (predict slow from raw bytes) -- used for Fig. 3a
+        self.classifier = classifier
+        self.size_percentile = size_percentile
+        self.queue_capacity = queue_capacity
+        self.poll_interval = poll_interval
+        self.timeout_percentile = timeout_percentile
+        self.fallback_percentile = fallback_percentile
+        self.warmup_samples = warmup_samples
+        self.timeout_override = timeout_override
+        self.adaptive_workers = adaptive_workers
+        self.max_workers = max_workers
+        self.min_workers = min_workers
+        self.scheduler_interval = scheduler_interval
+        self.alpha = alpha
+        self.beta = beta
+        self.cpu_threshold = cpu_threshold
+        self.delta_clip = delta_clip
+        self.seed = seed
+        self.worker_history: List[SchedulerDecision] = []
+
+    def start(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+        env = ctx.env
+        workload = ctx.workload
+        self.pipeline = workload.pipeline
+        cap = self.queue_capacity
+        self.batch_stores = [Store(env, capacity=cap) for _ in range(ctx.num_gpus)]
+        self._index_store = Store(env, capacity=cap)
+        self._temp_store = Store(env, capacity=cap)
+        # fast-before-slow retrieval (Algorithm 1's preference) without
+        # polling: one priority store, fast samples at key 0, slow at key 1
+        self._ready_store = PriorityStore(env, capacity=2 * cap)
+        self.profiler = TimeoutProfiler(
+            percentile=self.timeout_percentile,
+            fallback_percentile=self.fallback_percentile,
+            warmup_samples=self.warmup_samples,
+            override=self.timeout_override,
+        )
+        initial = min(
+            self.workers_per_gpu * ctx.num_gpus,
+            max(self.min_workers, ctx.hardware.cpu_cores - ctx.num_gpus - 2),
+        )
+        self.slow_workers_effective = (
+            self.slow_workers
+            if self.slow_workers is not None
+            else max(2, initial // 3)
+        )
+        hardware_cap = max(
+            self.min_workers,
+            ctx.hardware.cpu_cores - self.slow_workers_effective - ctx.num_gpus - 2,
+        )
+        self.max_workers_effective = (
+            min(self.max_workers, hardware_cap)
+            if self.max_workers is not None
+            else hardware_cap
+        )
+        self.scheduler = WorkerScheduler(
+            alpha=self.alpha,
+            beta=self.beta,
+            cpu_threshold=self.cpu_threshold,
+            delta_clip=self.delta_clip,
+            min_workers=self.min_workers,
+            max_workers=self.max_workers_effective,
+        )
+
+        if self.classifier == "size":
+            import numpy as np
+
+            sizes = [workload.dataset.spec(i).raw_nbytes for i in range(len(workload.dataset))]
+            self.size_threshold_bytes = float(np.percentile(sizes, self.size_percentile))
+        else:
+            self.size_threshold_bytes = None
+
+        plan = _deal_batch_plan(
+            self._total_samples(), workload.batch_size, ctx.num_gpus
+        )
+        self._feeding_done = False
+        self._classified = 0
+        self._total_fed = self._total_samples()
+        self._active_workers = 0
+        self._active_slow = 0
+        self._loading_target = min(initial, self.max_workers_effective)
+        self._slow_target = self.slow_workers_effective
+        self._builders_done = 0
+
+        env.process(self._feeder())
+        self._fill_pools()
+        for gpu in range(ctx.num_gpus):
+            env.process(self._builder(gpu, plan[gpu]))
+        if self.adaptive_workers:
+            env.process(self._scheduler_proc())
+
+    # -- sizing ------------------------------------------------------------------
+
+    def _total_samples(self) -> int:
+        workload = self.ctx.workload
+        if workload.epochs is not None:
+            return workload.epochs * len(workload.dataset)
+        return workload.total_batches(self.ctx.num_gpus) * workload.batch_size
+
+    # -- worker pool --------------------------------------------------------------
+
+    def _fill_pools(self) -> None:
+        """Spawn workers up to the pool targets.
+
+        Shrinking is handled by the workers themselves: each checks its
+        pool's target at the top of its loop and exits when the pool is
+        over target (a blocked worker simply retires at its next loop).
+        """
+        env = self.ctx.env
+        stream_active = not (
+            self._feeding_done and len(self._index_store) == 0
+        )
+        while stream_active and self._active_workers < self._loading_target:
+            self._active_workers += 1
+            env.process(self._loading_worker())
+        while self._active_slow < self._slow_target:
+            self._active_slow += 1
+            env.process(self._slow_worker())
+
+    # -- processes --------------------------------------------------------------------
+
+    def _feeder(self) -> Generator:
+        stream = _index_stream(self.ctx.workload.dataset, self.seed)
+        for _ in range(self._total_fed):
+            epoch, index = next(stream)
+            yield self._index_store.put((epoch, index))
+        self._feeding_done = True
+
+    def _loading_worker(self) -> Generator:
+        ctx = self.ctx
+        env = ctx.env
+        try:
+            while True:
+                if self._active_workers > self._loading_target:
+                    return
+                item = self._index_store.try_get()
+                if item is None:
+                    if self._feeding_done and len(self._index_store) == 0:
+                        return
+                    yield env.timeout(self.poll_interval)
+                    continue
+                _epoch, index = item
+                spec = ctx.workload.dataset.spec(index)
+                yield from ctx.read_sample(spec)
+                profile = self.cost_profile(spec)
+                if self.classifier == "size":
+                    # §3.2 heuristic: predict from raw size, no measurement.
+                    # Predicted-slow samples defer the whole pipeline to the
+                    # background; predicted-fast run inline with no timeout,
+                    # so a misprediction stalls this worker's fast path.
+                    if spec.raw_nbytes > self.size_threshold_bytes:
+                        ctx.samples_slow += 1
+                        yield self._temp_store.put((spec, 0, profile))
+                    else:
+                        for cost in profile:
+                            yield from ctx.cpu_busy(cost)
+                        self.profiler.record(sum(profile), flagged_slow=False)
+                        ctx.samples_preprocessed += 1
+                        yield self._ready_store.put((_FAST_KEY, (spec, False)))
+                    continue
+                budget = self.profiler.timeout()
+                elapsed = 0.0
+                handoff_at: Optional[int] = None
+                flagged = False
+                for i, cost in enumerate(profile):
+                    overshoot = elapsed + cost - budget
+                    if overshoot <= 0:
+                        yield from ctx.cpu_busy(cost)
+                        elapsed += cost
+                        continue
+                    grace = max(
+                        self.preempt_grace_abs, self.preempt_grace_rel * cost
+                    )
+                    if overshoot <= grace:
+                        # Within the monitoring granularity: finishing the
+                        # in-flight transform is cheaper than re-executing it
+                        # in the background.  The sample is still flagged
+                        # slow; remaining transforms (if any) run off the
+                        # critical path.
+                        yield from ctx.cpu_busy(cost)
+                        elapsed += cost
+                        flagged = True
+                        if i + 1 < len(profile):
+                            handoff_at = i + 1
+                        break
+                    # The timeout fires mid-transform: consume the remaining
+                    # budget, discard the partial work, and hand the sample
+                    # over at transform i -- it re-executes fully in the
+                    # background (the paper's preemptive accounting).
+                    slack = max(0.0, budget - elapsed)
+                    if slack > 0:
+                        yield from ctx.cpu_busy(slack)
+                    flagged = True
+                    handoff_at = i
+                    break
+                if not flagged:
+                    self.profiler.record(sum(profile), flagged_slow=False)
+                    ctx.samples_preprocessed += 1
+                    yield self._ready_store.put((_FAST_KEY, (spec, False)))
+                elif handoff_at is None:
+                    # flagged but complete (grace on the final transform)
+                    self.profiler.record(sum(profile), flagged_slow=True)
+                    ctx.samples_slow += 1
+                    ctx.samples_preprocessed += 1
+                    yield self._ready_store.put((_SLOW_KEY, (spec, True)))
+                else:
+                    ctx.samples_slow += 1
+                    yield self._temp_store.put((spec, handoff_at, profile))
+        finally:
+            self._active_workers -= 1
+
+    def _slow_worker(self) -> Generator:
+        ctx = self.ctx
+        env = ctx.env
+        try:
+            while True:
+                if self._active_slow > self._slow_target:
+                    return
+                item = self._temp_store.try_get()
+                if item is None:
+                    if (
+                        self._feeding_done
+                        and len(self._index_store) == 0
+                        and self._active_workers == 0
+                        and len(self._temp_store) == 0
+                    ):
+                        return
+                    yield env.timeout(self.poll_interval)
+                    continue
+                spec, resume_at, profile = item
+                for cost in profile[resume_at:]:
+                    yield from ctx.cpu_busy(cost, tag="slow")
+                self.profiler.record(sum(profile), flagged_slow=True)
+                ctx.samples_preprocessed += 1
+                yield self._ready_store.put((_SLOW_KEY, (spec, True)))
+        finally:
+            self._active_slow -= 1
+
+    def _builder(self, gpu: int, batch_sizes: List[int]) -> Generator:
+        ctx = self.ctx
+        pipeline = self.pipeline
+        for take in batch_sizes:
+            specs: List[SampleSpec] = []
+            slow_count = 0
+            nbytes = 0
+            for _ in range(take):
+                _key, (spec, was_slow) = yield self._ready_store.get()
+                specs.append(spec)
+                nbytes += self.output_nbytes(spec)
+                if was_slow:
+                    slow_count += 1
+            ctx.batches_built += 1
+            yield self.batch_stores[gpu].put(
+                SimBatch(
+                    specs=specs,
+                    nbytes=nbytes,
+                    built_at=ctx.env.now,
+                    slow_count=slow_count,
+                    gpu=gpu,
+                )
+            )
+        self._builders_done += 1
+        yield self.batch_stores[gpu].put(END)
+
+    def _scheduler_proc(self) -> Generator:
+        """Formulas 1-2 over the *total* preprocessing pool.
+
+        The total worker count follows the paper's control law; the split
+        between loading workers and slow-task workers tracks each path's
+        observed share of CPU work over the last interval, so heavy slow
+        paths (e.g. Speech-10s) get a proportionally larger background pool.
+        """
+        ctx = self.ctx
+        env = ctx.env
+        prev_busy = 0.0
+        prev_slow_busy = 0.0
+        prev_time = env.now
+        while self._builders_done < ctx.num_gpus:
+            yield env.timeout(self.scheduler_interval)
+            now = env.now
+            interval = now - prev_time
+            if interval <= 0:
+                continue
+            total = max(1, self._loading_target + self._slow_target)
+            busy = ctx.cpu_busy_seconds
+            slow_busy = ctx.cpu_busy_by_tag.get("slow", 0.0)
+            cpu_usage = min(1.0, (busy - prev_busy) / (total * interval))
+            queue_fill = sum(
+                len(store) / store.capacity for store in self.batch_stores
+            ) / len(self.batch_stores)
+            decision = self.scheduler.decide(total, queue_fill, cpu_usage)
+            self.worker_history.append(decision)
+            new_total = decision.new_workers
+            delta_busy = busy - prev_busy
+            delta_slow = slow_busy - prev_slow_busy
+            slow_share = delta_slow / delta_busy if delta_busy > 0 else 0.25
+            slow_share = min(0.9, max(0.1, slow_share))
+            if self._feeding_done and len(self._index_store) == 0:
+                # only background work remains: give it the whole budget
+                slow_target = new_total
+            else:
+                slow_target = max(2, min(new_total - 1, round(new_total * slow_share)))
+            self._loading_target = new_total - slow_target
+            self._slow_target = slow_target
+            self._fill_pools()
+            prev_busy, prev_slow_busy, prev_time = busy, slow_busy, now

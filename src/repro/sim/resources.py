@@ -1,0 +1,160 @@
+"""Capacity resources and bandwidth servers for the simulation kernel.
+
+* :class:`Resource` -- SimPy-style capacity resource.  GPUs are modelled as
+  ``Resource(env, capacity=1)``: training steps and (for DALI) GPU-side
+  preprocessing jobs contend for it in FIFO order, which is exactly the
+  contention story of paper §3.5.
+* :class:`BandwidthPipe` -- analytic FIFO bandwidth server used for disks and
+  shared-filesystem links.  A transfer of ``n`` bytes completes after the
+  pipe drains everything queued before it plus ``n / bandwidth`` seconds.
+  Completed transfers are recorded so experiments can plot read-throughput
+  time series (paper Fig. 10).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, List, Optional, Tuple
+
+from .kernel import Environment, Event, Timeout
+
+__all__ = ["Resource", "Request", "BandwidthPipe"]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Usable as a context manager inside process generators::
+
+        with gpu.request() as req:
+            yield req
+            yield env.timeout(step_time)
+    """
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A resource with finite capacity and a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: deque = deque()
+        #: optional callback(now, in_use) fired on every occupancy change
+        self.on_change: Optional[Callable[[float, int], None]] = None
+
+    @property
+    def count(self) -> int:
+        """Number of granted requests currently holding the resource."""
+        return len(self.users)
+
+    def _notify(self) -> None:
+        if self.on_change is not None:
+            self.on_change(self.env.now, len(self.users))
+
+    def request(self) -> Request:
+        event = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(event)
+            event.succeed()
+            self._notify()
+        else:
+            self.queue.append(event)
+        return event
+
+    def release(self, request: Request) -> None:
+        """Release a granted request (no-op if it was never granted)."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Request still queued (context-manager exit after an interrupt):
+            # drop it from the wait queue instead.
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass
+            return
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+        self._notify()
+
+
+class BandwidthPipe:
+    """FIFO bandwidth server (disk, NIC, or shared-filesystem link).
+
+    The analytic model: the pipe has a single ``available_at`` watermark; a
+    transfer arriving at ``t`` starts at ``max(t, available_at)`` and occupies
+    the pipe for ``nbytes / bandwidth`` seconds.  Total throughput therefore
+    never exceeds ``bandwidth`` and concurrent readers queue fairly (FIFO).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        latency: float = 0.0,
+        record: bool = True,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth!r}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency!r}")
+        self.env = env
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self._available_at = 0.0
+        self._record = record
+        #: completed transfers as (start, finish, nbytes)
+        self.transfers: List[Tuple[float, float, float]] = []
+
+    def transfer(self, nbytes: float) -> Timeout:
+        """Schedule a transfer; the returned event fires on completion."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes!r}")
+        start = max(self.env.now, self._available_at)
+        finish = start + self.latency + nbytes / self.bandwidth
+        self._available_at = finish
+        if self._record:
+            self.transfers.append((start, finish, float(nbytes)))
+        return self.env.timeout(finish - self.env.now, value=nbytes)
+
+    @property
+    def backlog(self) -> float:
+        """Seconds of queued work currently ahead of a new transfer."""
+        return max(0.0, self._available_at - self.env.now)
+
+    def throughput_series(self, bucket: float = 1.0) -> List[Tuple[float, float]]:
+        """Aggregate completed transfers into ``(t, bytes/s)`` buckets."""
+        if bucket <= 0:
+            raise ValueError(f"bucket must be positive, got {bucket!r}")
+        if not self.transfers:
+            return []
+        horizon = max(finish for _start, finish, _n in self.transfers)
+        nbuckets = int(horizon / bucket) + 1
+        volume = [0.0] * nbuckets
+        for start, finish, nbytes in self.transfers:
+            # Spread bytes uniformly over the transfer's active interval.
+            duration = max(finish - start, 1e-12)
+            rate = nbytes / duration
+            first = int(start / bucket)
+            last = int(finish / bucket)
+            for i in range(first, last + 1):
+                lo = max(start, i * bucket)
+                hi = min(finish, (i + 1) * bucket)
+                if hi > lo:
+                    volume[i] += rate * (hi - lo)
+        return [(i * bucket, v / bucket) for i, v in enumerate(volume)]

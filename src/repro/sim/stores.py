@@ -1,0 +1,163 @@
+"""Queues for the simulation kernel.
+
+:class:`Store` is a bounded FIFO with blocking ``put``/``get`` events plus
+non-blocking ``try_put``/``try_get``.  The MinatoLoader model uses the
+non-blocking variants for its batch-construction polling loop (the paper's
+Algorithm 1 sleeps 10 ms when both the fast and slow queues are empty), which
+also sidesteps the classic pitfall of abandoned ``get`` events consuming
+items.
+
+:class:`PriorityStore` orders retrieval by a key, used by models that need
+deadline- or size-ordered queues (e.g. the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .kernel import Environment, Event
+
+__all__ = ["Store", "PriorityStore"]
+
+
+class StorePut(Event):
+    def __init__(self, env: Environment, item: Any) -> None:
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    pass
+
+
+class Store:
+    """Process-safe FIFO queue living in virtual time.
+
+    Note: a pending ``get()`` event that its creator stops waiting for (e.g.
+    after an ``AnyOf`` race) will still consume a future item.  Models that
+    race multiple queues should poll with :meth:`try_get` instead.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._getters: deque = deque()
+        self._putters: deque = deque()
+        #: optional callback(now, size) fired on every size change
+        self.on_change: Optional[Callable[[float, int], None]] = None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    def _notify(self) -> None:
+        if self.on_change is not None:
+            self.on_change(self.env.now, len(self.items))
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                put_event = self._putters.popleft()
+                self.items.append(put_event.item)
+                put_event.succeed()
+                progressed = True
+            while self._getters and self.items:
+                get_event = self._getters.popleft()
+                get_event.succeed(self.items.popleft())
+                progressed = True
+        self._notify()
+
+    def put(self, item: Any) -> StorePut:
+        """Blocking put; the returned event fires once the item is enqueued."""
+        event = StorePut(self.env, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Blocking get; the returned event fires with the item as value."""
+        event = StoreGet(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put.  Returns ``False`` when the store is full."""
+        if len(self.items) >= self.capacity and not self._getters:
+            return False
+        self.items.append(item)
+        self._dispatch()
+        return True
+
+    def try_get(self) -> Any:
+        """Non-blocking get.  Returns ``None`` when the store is empty.
+
+        Items must therefore never be ``None``; loader models wrap payloads
+        in records, so this is not a restriction in practice.
+        """
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._dispatch()
+        return item
+
+
+class PriorityStore(Store):
+    """Store retrieving the smallest item first (heap-ordered).
+
+    Items are ``(key, payload)`` tuples; ties broken by insertion order.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self.items: list = []
+        self._seq = 0
+
+    def _push(self, item: Any) -> None:
+        key, payload = item
+        self._seq += 1
+        heapq.heappush(self.items, (key, self._seq, payload))
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                put_event = self._putters.popleft()
+                self._push(put_event.item)
+                put_event.succeed()
+                progressed = True
+            while self._getters and self.items:
+                get_event = self._getters.popleft()
+                key, _seq, payload = heapq.heappop(self.items)
+                get_event.succeed((key, payload))
+                progressed = True
+        self._notify()
+
+    def try_put(self, item: Any) -> bool:
+        if len(self.items) >= self.capacity and not self._getters:
+            return False
+        self._push(item)
+        self._dispatch()
+        return True
+
+    def try_get(self) -> Any:
+        if not self.items:
+            return None
+        key, _seq, payload = heapq.heappop(self.items)
+        self._dispatch()
+        return (key, payload)

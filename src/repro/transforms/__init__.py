@@ -1,0 +1,64 @@
+"""Preprocessing pipelines of paper Table 1, with calibrated cost models."""
+
+from .audio import (
+    LIGHT_TOTAL_SECONDS,
+    FilterBank,
+    FrameSplicing,
+    HeavyStep,
+    LightStep,
+    Pad,
+    PermuteAudio,
+    SpecAugment,
+    speech_pipeline,
+)
+from .base import Pipeline, PipelineState, SizeEffect, Transform, WorkContext
+from .classify import TransformClassification, auto_order, classify_pipeline
+from .image2d import (
+    Normalize,
+    RandomHorizontalFlip,
+    Resize2D,
+    ToTensor,
+    detection_pipeline,
+)
+from .image3d import (
+    Cast,
+    GaussianNoise3D,
+    RandomBrightness3D,
+    RandomCrop3D,
+    RandomFlip3D,
+    segmentation_pipeline,
+)
+
+__all__ = [
+    "Transform",
+    "Pipeline",
+    "PipelineState",
+    "SizeEffect",
+    "WorkContext",
+    "TransformClassification",
+    "classify_pipeline",
+    "auto_order",
+    # image segmentation
+    "RandomCrop3D",
+    "RandomFlip3D",
+    "RandomBrightness3D",
+    "GaussianNoise3D",
+    "Cast",
+    "segmentation_pipeline",
+    # object detection
+    "Resize2D",
+    "RandomHorizontalFlip",
+    "ToTensor",
+    "Normalize",
+    "detection_pipeline",
+    # speech
+    "Pad",
+    "SpecAugment",
+    "FilterBank",
+    "FrameSplicing",
+    "PermuteAudio",
+    "LightStep",
+    "HeavyStep",
+    "speech_pipeline",
+    "LIGHT_TOTAL_SECONDS",
+]

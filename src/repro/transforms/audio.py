@@ -1,0 +1,245 @@
+"""Speech-recognition preprocessing pipeline (paper Table 1, LibriSpeech/RNN-T).
+
+``Pad -> SpecAugment -> FilterBank -> FrameSplicing -> PermuteAudio
+  -> LightStep -> HeavyStep``
+
+The paper designs this workload as a microbenchmark: every sample runs a
+``LightStep`` costing ~0.5 s, and every fifth sample additionally runs a
+``HeavyStep`` so that its *total* pipeline time reaches 3 s (Speech-3s) or
+10 s (Speech-10s).  This matches Table 2 exactly:
+
+    Speech-3s : Avg 998,  Med 508, P75 509, P90 3008,  Min-Max 502-3017
+    Speech-10s: Avg 2351, Med 508, P75 509, P90 10008, Min-Max 502-10014
+
+(the heavy total includes the light part, so HeavyStep itself contributes
+``heavy_seconds - light_total``).
+
+Whether a sample is heavy comes from its spec (``attrs["heavy"]``), assigned
+by the dataset: every 5th sample by default, or a configurable proportion for
+the Fig. 12 slow-sample sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.sample import Sample, SampleSpec
+from .base import Pipeline, PipelineState, SizeEffect, Transform, WorkContext
+
+__all__ = [
+    "Pad",
+    "SpecAugment",
+    "FilterBank",
+    "FrameSplicing",
+    "PermuteAudio",
+    "LightStep",
+    "HeavyStep",
+    "speech_pipeline",
+    "LIGHT_TOTAL_SECONDS",
+]
+
+MB = 1024 * 1024
+
+#: costs of the five "real" audio transforms (seconds); they sum to ~5 ms
+_AUDIO_COSTS = {
+    "Pad": 0.0015,
+    "SpecAugment": 0.0010,
+    "FilterBank": 0.0015,
+    "FrameSplicing": 0.0005,
+    "PermuteAudio": 0.0005,
+}
+_LIGHT_MEAN_SECONDS = 0.5
+_LIGHT_JITTER_SECONDS = 0.006  # uniform jitter; Table 2 min/max 502-509 ms
+
+#: total cost of the light-only part of the pipeline (for HeavyStep sizing)
+LIGHT_TOTAL_SECONDS = sum(_AUDIO_COSTS.values()) + _LIGHT_MEAN_SECONDS
+
+_SALT_LIGHT = 301
+_SALT_HEAVY = 302
+
+#: size evolution factors: raw waveform (~0.2 MB) -> spectrogram (~4 MB)
+_PAD_INFLATION = 1.2
+_FILTERBANK_INFLATION = 16.0
+_SPLICING_INFLATION = 1.05
+
+
+def _light_jitter(spec: SampleSpec) -> float:
+    return spec.uniform(_SALT_LIGHT, 0.0, _LIGHT_JITTER_SECONDS)
+
+
+class Pad(Transform):
+    """Pad the waveform to a fixed length (inflationary)."""
+
+    size_effect = SizeEffect.INFLATIONARY
+
+    def __init__(self, target_len: int = 4096) -> None:
+        if target_len < 1:
+            raise ValueError(f"target_len must be >= 1, got {target_len!r}")
+        self.target_len = target_len
+
+    def cost(self, spec: SampleSpec, state: PipelineState) -> float:
+        return _AUDIO_COSTS["Pad"]
+
+    def output_nbytes(self, spec: SampleSpec, state: PipelineState) -> float:
+        return state.nbytes * _PAD_INFLATION
+
+    def _operate(self, sample: Sample, ctx: WorkContext) -> np.ndarray:
+        wave = sample.data.ravel()
+        if wave.size >= self.target_len:
+            return np.ascontiguousarray(wave[: self.target_len])
+        out = np.zeros(self.target_len, dtype=wave.dtype)
+        out[: wave.size] = wave
+        return out
+
+
+class SpecAugment(Transform):
+    """Mask random spans of the signal (augmentation)."""
+
+    size_effect = SizeEffect.NEUTRAL
+
+    def __init__(self, mask_fraction: float = 0.1) -> None:
+        if not 0 <= mask_fraction < 1:
+            raise ValueError(f"mask_fraction must be in [0, 1), got {mask_fraction!r}")
+        self.mask_fraction = mask_fraction
+
+    def cost(self, spec: SampleSpec, state: PipelineState) -> float:
+        return _AUDIO_COSTS["SpecAugment"]
+
+    def output_nbytes(self, spec: SampleSpec, state: PipelineState) -> float:
+        return state.nbytes
+
+    def _operate(self, sample: Sample, ctx: WorkContext) -> np.ndarray:
+        wave = sample.data.copy()
+        span = max(1, int(wave.size * self.mask_fraction))
+        start = int(ctx.rng.integers(0, max(1, wave.size - span)))
+        wave[start : start + span] = 0
+        return wave
+
+
+class FilterBank(Transform):
+    """Frame the waveform and compute magnitude spectra (inflationary)."""
+
+    size_effect = SizeEffect.INFLATIONARY
+
+    def __init__(self, frame: int = 128, hop: int = 64) -> None:
+        if frame < 2 or hop < 1:
+            raise ValueError("frame must be >= 2 and hop >= 1")
+        self.frame = frame
+        self.hop = hop
+
+    def cost(self, spec: SampleSpec, state: PipelineState) -> float:
+        return _AUDIO_COSTS["FilterBank"]
+
+    def output_nbytes(self, spec: SampleSpec, state: PipelineState) -> float:
+        return state.nbytes * _FILTERBANK_INFLATION
+
+    def _operate(self, sample: Sample, ctx: WorkContext) -> np.ndarray:
+        wave = sample.data.ravel().astype(np.float64)
+        if wave.size < self.frame:
+            wave = np.pad(wave, (0, self.frame - wave.size))
+        n_frames = 1 + (wave.size - self.frame) // self.hop
+        idx = np.arange(self.frame)[None, :] + self.hop * np.arange(n_frames)[:, None]
+        frames = wave[idx]
+        spectra = np.abs(np.fft.rfft(frames, axis=1)).astype(np.float32)
+        return spectra
+
+
+class FrameSplicing(Transform):
+    """Stack adjacent frames to widen the temporal context."""
+
+    size_effect = SizeEffect.INFLATIONARY
+
+    def __init__(self, factor: int = 2) -> None:
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor!r}")
+        self.factor = factor
+
+    def cost(self, spec: SampleSpec, state: PipelineState) -> float:
+        return _AUDIO_COSTS["FrameSplicing"]
+
+    def output_nbytes(self, spec: SampleSpec, state: PipelineState) -> float:
+        return state.nbytes * _SPLICING_INFLATION
+
+    def _operate(self, sample: Sample, ctx: WorkContext) -> np.ndarray:
+        spec_arr = sample.data
+        n = (spec_arr.shape[0] // self.factor) * self.factor
+        if n == 0:
+            return spec_arr
+        trimmed = spec_arr[:n]
+        return trimmed.reshape(n // self.factor, -1)
+
+
+class PermuteAudio(Transform):
+    """Transpose to (features, time) as the model expects."""
+
+    size_effect = SizeEffect.NEUTRAL
+
+    def cost(self, spec: SampleSpec, state: PipelineState) -> float:
+        return _AUDIO_COSTS["PermuteAudio"]
+
+    def output_nbytes(self, spec: SampleSpec, state: PipelineState) -> float:
+        return state.nbytes
+
+    def _operate(self, sample: Sample, ctx: WorkContext) -> np.ndarray:
+        return np.ascontiguousarray(sample.data.T)
+
+
+class LightStep(Transform):
+    """Simulated lightweight preprocessing (~0.5 s on every sample)."""
+
+    size_effect = SizeEffect.NEUTRAL
+
+    def cost(self, spec: SampleSpec, state: PipelineState) -> float:
+        return _LIGHT_MEAN_SECONDS + _light_jitter(spec)
+
+    def output_nbytes(self, spec: SampleSpec, state: PipelineState) -> float:
+        return state.nbytes
+
+    def _operate(self, sample: Sample, ctx: WorkContext) -> np.ndarray:
+        return sample.data
+
+
+class HeavyStep(Transform):
+    """Simulated compute-intensive step on 'heavy' samples only.
+
+    ``heavy_seconds`` is the *total* pipeline time a heavy sample should
+    reach (3 s for Speech-3s, 10 s for Speech-10s); this transform charges
+    the difference above the light part.
+    """
+
+    size_effect = SizeEffect.NEUTRAL
+
+    def __init__(self, heavy_seconds: float = 3.0) -> None:
+        if heavy_seconds <= LIGHT_TOTAL_SECONDS:
+            raise ValueError(
+                f"heavy_seconds must exceed the light pipeline total "
+                f"({LIGHT_TOTAL_SECONDS:.3f} s), got {heavy_seconds!r}"
+            )
+        self.heavy_seconds = heavy_seconds
+
+    def cost(self, spec: SampleSpec, state: PipelineState) -> float:
+        if not spec.attr("heavy"):
+            return 0.0
+        jitter = spec.uniform(_SALT_HEAVY, 0.0, 0.008)
+        return self.heavy_seconds - LIGHT_TOTAL_SECONDS + jitter
+
+    def output_nbytes(self, spec: SampleSpec, state: PipelineState) -> float:
+        return state.nbytes
+
+    def _operate(self, sample: Sample, ctx: WorkContext) -> np.ndarray:
+        return sample.data
+
+
+def speech_pipeline(heavy_seconds: float = 3.0) -> Pipeline:
+    """The paper's speech-recognition pipeline (Table 1, Speech-Xs)."""
+    return Pipeline(
+        [
+            Pad(),
+            SpecAugment(),
+            FilterBank(),
+            FrameSplicing(),
+            PermuteAudio(),
+            LightStep(),
+            HeavyStep(heavy_seconds=heavy_seconds),
+        ]
+    )

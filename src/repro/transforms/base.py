@@ -1,0 +1,231 @@
+"""Transform framework: timed, cost-modelled preprocessing steps.
+
+Each :class:`Transform` does two things:
+
+1. ``apply(sample, ctx)`` -- performs the *real* numpy operation on the
+   sample payload (scaled-down arrays so tests stay fast) and charges the
+   transform's modelled compute cost to the context's clock.
+2. ``cost(spec, state)`` -- returns the modelled cost in seconds as a pure
+   function of the sample spec and the pipeline size-state.  The simulator
+   calls this directly; the concurrent engine charges the same number, so the
+   two substrates agree sample-by-sample.
+
+Costs are deterministic per (sample, transform): randomness is drawn from the
+sample's seed, never from global state.
+
+The ``size_effect`` classification (inflationary / deflationary / varies) is
+what Pecan's AutoOrder policy consumes (paper §2.1), and ``barrier`` marks
+reorder barriers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..clock import Clock, ThreadLocalClock
+from ..data.sample import Sample, SampleSpec
+from ..errors import ConfigurationError
+
+__all__ = [
+    "SizeEffect",
+    "WorkContext",
+    "Transform",
+    "Pipeline",
+    "PipelineState",
+]
+
+
+class SizeEffect:
+    """How a transform changes the sample's in-memory footprint."""
+
+    INFLATIONARY = "inflationary"
+    DEFLATIONARY = "deflationary"
+    NEUTRAL = "neutral"
+    VARIES = "varies"
+
+
+class WorkContext:
+    """Execution context handed to transforms by a loader worker.
+
+    Carries the clock used to charge modelled compute and an RNG for
+    content-level randomness (augmentation draws that do not affect cost).
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        rng: Optional[np.random.Generator] = None,
+        cost_scale: float = 1.0,
+    ) -> None:
+        if cost_scale < 0:
+            raise ValueError(f"cost_scale must be >= 0, got {cost_scale!r}")
+        self.clock = clock if clock is not None else ThreadLocalClock()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.cost_scale = cost_scale
+        self.charged_seconds = 0.0
+
+    def charge(self, seconds: float) -> None:
+        """Consume ``seconds * cost_scale`` of modelled compute on the clock.
+
+        ``cost_scale`` lets executors re-rate transform costs: the DALI
+        baseline runs preprocessing on the GPU at a 10x discount (paper
+        §5.1), and cost_scale=0 executes the numpy work without charging
+        (the caller accounts the time elsewhere, e.g. on a device).
+        """
+        if seconds < 0:
+            raise ValueError(f"negative charge: {seconds!r}")
+        scaled = seconds * self.cost_scale
+        self.charged_seconds += scaled
+        self.clock.advance(scaled)
+
+
+@dataclass
+class PipelineState:
+    """Size state threaded through cost evaluation.
+
+    ``nbytes`` is the sample's in-memory footprint *entering* the next
+    transform.  Cost models may scale with it, which is how Pecan's
+    transformation reordering changes pipeline cost mechanically.
+    """
+
+    nbytes: float
+
+    def copy(self) -> "PipelineState":
+        return PipelineState(nbytes=self.nbytes)
+
+
+class Transform(ABC):
+    """A single preprocessing step."""
+
+    #: classification consumed by Pecan AutoOrder
+    size_effect: str = SizeEffect.NEUTRAL
+    #: AutoOrder never moves a transform across a barrier
+    barrier: bool = False
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    # -- cost model ---------------------------------------------------------
+
+    @abstractmethod
+    def cost(self, spec: SampleSpec, state: PipelineState) -> float:
+        """Modelled compute seconds for this sample at this pipeline point."""
+
+    @abstractmethod
+    def output_nbytes(self, spec: SampleSpec, state: PipelineState) -> float:
+        """Footprint in bytes after this transform runs."""
+
+    def _cost_rng(self, spec: SampleSpec) -> np.random.Generator:
+        """Deterministic RNG for cost jitter (stable across substrates)."""
+        return spec.rng(salt=hash(self.name) & 0xFFFF)
+
+    # -- real execution ------------------------------------------------------
+
+    @abstractmethod
+    def _operate(self, sample: Sample, ctx: WorkContext) -> np.ndarray:
+        """Perform the actual numpy operation; return the new payload."""
+
+    def apply(self, sample: Sample, ctx: WorkContext, state: PipelineState) -> Sample:
+        """Run the transform for real: numpy work + modelled cost charge."""
+        seconds = self.cost(sample.spec, state)
+        new_data = self._operate(sample, ctx)
+        ctx.charge(seconds)
+        sample.data = new_data
+        sample.nbytes = int(self.output_nbytes(sample.spec, state))
+        sample.applied.append(self.name)
+        sample.preprocess_seconds += seconds
+        state.nbytes = sample.nbytes
+        return sample
+
+    def __repr__(self) -> str:
+        return f"{self.name}()"
+
+
+class Pipeline:
+    """An ordered sequence of transforms with cost introspection.
+
+    Loaders drive transforms one at a time (so a load balancer can check its
+    timeout budget between steps); the simulator only reads
+    :meth:`cost_profile`.
+    """
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        if not transforms:
+            raise ConfigurationError("a pipeline needs at least one transform")
+        self.transforms: List[Transform] = list(transforms)
+
+    def __len__(self) -> int:
+        return len(self.transforms)
+
+    def __iter__(self):
+        return iter(self.transforms)
+
+    def __getitem__(self, i: int) -> Transform:
+        return self.transforms[i]
+
+    @property
+    def names(self) -> List[str]:
+        return [t.name for t in self.transforms]
+
+    def initial_state(self, spec: SampleSpec) -> PipelineState:
+        return PipelineState(nbytes=float(spec.raw_nbytes))
+
+    def cost_profile(self, spec: SampleSpec) -> List[float]:
+        """Per-transform modelled costs (seconds) for one sample."""
+        state = self.initial_state(spec)
+        profile = []
+        for transform in self.transforms:
+            profile.append(transform.cost(spec, state))
+            state.nbytes = transform.output_nbytes(spec, state)
+        return profile
+
+    def total_cost(self, spec: SampleSpec) -> float:
+        return float(sum(self.cost_profile(spec)))
+
+    def output_nbytes(self, spec: SampleSpec) -> int:
+        """Footprint of the fully preprocessed sample."""
+        state = self.initial_state(spec)
+        for transform in self.transforms:
+            state.nbytes = transform.output_nbytes(spec, state)
+        return int(state.nbytes)
+
+    def size_trace(self, spec: SampleSpec) -> List[float]:
+        """Footprint after each transform (used by Pecan's classifier)."""
+        state = self.initial_state(spec)
+        trace = []
+        for transform in self.transforms:
+            state.nbytes = transform.output_nbytes(spec, state)
+            trace.append(state.nbytes)
+        return trace
+
+    def apply_all(
+        self,
+        sample: Sample,
+        ctx: WorkContext,
+        start: int = 0,
+        state: Optional[PipelineState] = None,
+    ) -> Sample:
+        """Apply transforms ``start..end`` to a sample (no budget checks)."""
+        if state is None:
+            state = self._state_at(sample, start)
+        for i in range(start, len(self.transforms)):
+            sample = self.transforms[i].apply(sample, ctx, state)
+        return sample
+
+    def _state_at(self, sample: Sample, position: int) -> PipelineState:
+        """Reconstruct the size state entering transform ``position``."""
+        state = self.initial_state(sample.spec)
+        for transform in self.transforms[:position]:
+            state.nbytes = transform.output_nbytes(sample.spec, state)
+        return state
+
+    def reordered(self, order: Sequence[int]) -> "Pipeline":
+        """A new pipeline with transforms permuted by ``order``."""
+        if sorted(order) != list(range(len(self.transforms))):
+            raise ConfigurationError(f"invalid permutation: {order!r}")
+        return Pipeline([self.transforms[i] for i in order])

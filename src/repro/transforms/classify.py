@@ -1,0 +1,135 @@
+"""Pecan's transformation classification and AutoOrder policy (paper §2.1).
+
+Pecan classifies transformations as *inflationary* (they increase data
+volume) or *deflationary* (they reduce it), then moves deflationary
+transformations earlier and inflationary ones later -- but never across
+*barrier* transformations, which pin the pipeline sections where reordering
+is semantically safe.
+
+Classification here is **measured**, as in Pecan: the pipeline's size trace
+is evaluated over a sample of specs and each transform's mean output/input
+ratio decides its class.  Outcomes on the paper's pipelines:
+
+* object detection: ``Resize`` inflates (0.8 MB JPEG -> 4-12 MB tensor) and
+  moves to the end of the pipeline (paper §5.1);
+* speech: ``Pad`` inflates and moves to the end of its section -- the
+  ``FilterBank`` format change is a barrier, which keeps the reordering
+  semantically valid while removing Pad's inflation from the section, the
+  same cost effect the paper describes;
+* image segmentation: ``RandomCrop`` (deflationary) is already first, so
+  AutoOrder is a no-op, matching the paper ("the transformations are already
+  optimally ordered").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..data.sample import SampleSpec
+from .base import Pipeline, SizeEffect
+
+__all__ = ["TransformClassification", "classify_pipeline", "auto_order"]
+
+#: ratio thresholds separating the classes (2% tolerance band)
+_INFLATION_THRESHOLD = 1.02
+_DEFLATION_THRESHOLD = 0.98
+
+
+@dataclass(frozen=True)
+class TransformClassification:
+    """Measured size behaviour of one transform in a concrete pipeline."""
+
+    name: str
+    position: int
+    mean_ratio: float
+    effect: str
+
+    @property
+    def is_inflationary(self) -> bool:
+        return self.effect == SizeEffect.INFLATIONARY
+
+    @property
+    def is_deflationary(self) -> bool:
+        return self.effect == SizeEffect.DEFLATIONARY
+
+
+def classify_pipeline(
+    pipeline: Pipeline, specs: Iterable[SampleSpec]
+) -> List[TransformClassification]:
+    """Measure each transform's mean output/input size ratio over ``specs``."""
+    specs = list(specs)
+    if not specs:
+        raise ValueError("classification needs at least one sample spec")
+    sums = [0.0] * len(pipeline)
+    for spec in specs:
+        state = pipeline.initial_state(spec)
+        for i, transform in enumerate(pipeline):
+            before = max(state.nbytes, 1.0)
+            state.nbytes = transform.output_nbytes(spec, state)
+            sums[i] += state.nbytes / before
+    result = []
+    for i, transform in enumerate(pipeline):
+        ratio = sums[i] / len(specs)
+        if ratio > _INFLATION_THRESHOLD:
+            effect = SizeEffect.INFLATIONARY
+        elif ratio < _DEFLATION_THRESHOLD:
+            effect = SizeEffect.DEFLATIONARY
+        else:
+            effect = SizeEffect.NEUTRAL
+        result.append(
+            TransformClassification(
+                name=transform.name, position=i, mean_ratio=ratio, effect=effect
+            )
+        )
+    return result
+
+
+def _sections(pipeline: Pipeline) -> List[List[int]]:
+    """Split positions into maximal barrier-free sections.
+
+    A barrier transform forms its own singleton section; transforms never
+    cross it.
+    """
+    sections: List[List[int]] = []
+    current: List[int] = []
+    for i, transform in enumerate(pipeline):
+        if transform.barrier:
+            if current:
+                sections.append(current)
+                current = []
+            sections.append([i])
+        else:
+            current.append(i)
+    if current:
+        sections.append(current)
+    return sections
+
+
+def auto_order(
+    pipeline: Pipeline, specs: Sequence[SampleSpec]
+) -> Tuple[Pipeline, List[int]]:
+    """Pecan AutoOrder: deflationary first, inflationary last, within sections.
+
+    Returns the reordered pipeline and the permutation applied (new order of
+    original positions).  The sort is stable, so pipelines that are already
+    optimally ordered come back unchanged.
+    """
+    classes = classify_pipeline(pipeline, specs)
+    by_position = {c.position: c for c in classes}
+
+    def rank(position: int) -> int:
+        effect = by_position[position].effect
+        if effect == SizeEffect.DEFLATIONARY:
+            return 0
+        if effect == SizeEffect.INFLATIONARY:
+            return 2
+        return 1
+
+    order: List[int] = []
+    for section in _sections(pipeline):
+        if len(section) == 1:
+            order.extend(section)
+            continue
+        order.extend(sorted(section, key=rank))  # stable for equal ranks
+    return pipeline.reordered(order), order

@@ -1,0 +1,98 @@
+"""Shared test fixtures: stub transforms/datasets with controllable costs."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.sample import Sample, SampleSpec
+from repro.transforms.base import Pipeline, PipelineState, SizeEffect, Transform, WorkContext
+
+
+class StubTransform(Transform):
+    """Transform whose cost is ``spec.attrs['cost'] * fraction`` seconds."""
+
+    size_effect = SizeEffect.NEUTRAL
+
+    def __init__(
+        self,
+        label: str = "Stub",
+        fraction: float = 1.0,
+        size_ratio: float = 1.0,
+        barrier: bool = False,
+    ) -> None:
+        self._label = label
+        self.fraction = fraction
+        self.size_ratio = size_ratio
+        self.barrier = barrier
+        if size_ratio > 1.02:
+            self.size_effect = SizeEffect.INFLATIONARY
+        elif size_ratio < 0.98:
+            self.size_effect = SizeEffect.DEFLATIONARY
+
+    @property
+    def name(self) -> str:
+        return self._label
+
+    def cost(self, spec: SampleSpec, state: PipelineState) -> float:
+        return spec.attr("cost", 0.01) * self.fraction
+
+    def output_nbytes(self, spec: SampleSpec, state: PipelineState) -> float:
+        return state.nbytes * self.size_ratio
+
+    def _operate(self, sample: Sample, ctx: WorkContext) -> np.ndarray:
+        return sample.data
+
+
+class StubDataset(Dataset):
+    """Dataset with explicit per-sample preprocessing costs."""
+
+    def __init__(
+        self,
+        costs: Sequence[float],
+        raw_nbytes: int = 1024,
+        seed: int = 0,
+        payload: Optional[np.ndarray] = None,
+    ) -> None:
+        self._costs = list(costs)
+        self._raw_nbytes = raw_nbytes
+        self._seed = seed
+        self._payload = payload if payload is not None else np.zeros(4, dtype=np.float32)
+        self._specs: List[SampleSpec] = [
+            SampleSpec(
+                index=i,
+                raw_nbytes=raw_nbytes,
+                seed=seed * 1_000_003 + i,
+                modality="stub",
+                attrs={"cost": float(c)},
+            )
+            for i, c in enumerate(self._costs)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._costs)
+
+    def spec(self, index: int) -> SampleSpec:
+        self._check_index(index)
+        return self._specs[index]
+
+    def _materialize(self, spec: SampleSpec) -> np.ndarray:
+        return self._payload
+
+
+def stub_pipeline(n_stages: int = 3) -> Pipeline:
+    """Pipeline of ``n_stages`` equal-cost stub transforms (fractions sum to 1)."""
+    fraction = 1.0 / n_stages
+    return Pipeline(
+        [StubTransform(label=f"Stage{i}", fraction=fraction) for i in range(n_stages)]
+    )
+
+
+def mixed_cost_dataset(
+    n: int, fast_cost: float = 0.01, slow_cost: float = 0.2, slow_period: int = 5
+) -> StubDataset:
+    """Every ``slow_period``-th sample costs ``slow_cost``; others ``fast_cost``."""
+    costs = [slow_cost if i % slow_period == 0 else fast_cost for i in range(n)]
+    return StubDataset(costs)

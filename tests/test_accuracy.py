@@ -1,0 +1,151 @@
+"""Tests for the real-model accuracy engine (Fig. 11a substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.accuracy import (
+    AccuracyCurve,
+    MLPClassifier,
+    PixelSegmenter,
+    dice_score,
+    make_blob_images,
+    make_cluster_data,
+    train_with_ordering,
+)
+
+
+# ---------------------------------------------------------------------------
+# dice
+# ---------------------------------------------------------------------------
+
+
+def test_dice_perfect_match():
+    mask = np.array([[1, 0], [0, 1]], dtype=bool)
+    assert dice_score(mask, mask) == 1.0
+
+
+def test_dice_disjoint():
+    a = np.array([[1, 0], [0, 0]], dtype=bool)
+    b = np.array([[0, 0], [0, 1]], dtype=bool)
+    assert dice_score(a, b) == 0.0
+
+
+def test_dice_empty_masks():
+    empty = np.zeros((3, 3), dtype=bool)
+    assert dice_score(empty, empty) == 1.0
+
+
+def test_dice_partial_overlap():
+    a = np.array([[1, 1], [0, 0]], dtype=bool)
+    b = np.array([[1, 0], [0, 0]], dtype=bool)
+    assert dice_score(a, b) == pytest.approx(2 / 3)
+
+
+# ---------------------------------------------------------------------------
+# MLP classifier
+# ---------------------------------------------------------------------------
+
+
+def test_mlp_learns_separable_clusters():
+    x, y = make_cluster_data(600, n_features=8, n_classes=4, seed=0)
+    x_test, y_test = make_cluster_data(300, n_features=8, n_classes=4, seed=1)
+    model = MLPClassifier(n_features=8, n_classes=4, hidden=24, seed=2)
+    before = model.accuracy(x_test, y_test)
+    rng = np.random.default_rng(0)
+    for _epoch in range(12):
+        order = rng.permutation(len(x))
+        for i in range(0, len(x), 32):
+            idx = order[i : i + 32]
+            model.train_batch(x[idx], y[idx])
+    after = model.accuracy(x_test, y_test)
+    assert after > before
+    assert after > 0.7
+
+
+def test_mlp_loss_decreases():
+    x, y = make_cluster_data(256, seed=3)
+    model = MLPClassifier(n_features=x.shape[1], n_classes=int(y.max()) + 1, seed=4)
+    first = model.train_batch(x, y)
+    for _ in range(30):
+        last = model.train_batch(x, y)
+    assert last < first
+
+
+def test_cluster_data_deterministic():
+    x1, y1 = make_cluster_data(50, seed=9)
+    x2, y2 = make_cluster_data(50, seed=9)
+    np.testing.assert_array_equal(x1, x2)
+    np.testing.assert_array_equal(y1, y2)
+
+
+# ---------------------------------------------------------------------------
+# Pixel segmenter
+# ---------------------------------------------------------------------------
+
+
+def test_segmenter_learns_blobs():
+    images, masks = make_blob_images(80, side=12, seed=0)
+    test_images, test_masks = make_blob_images(24, side=12, seed=1)
+    model = PixelSegmenter(seed=2)
+    before = model.mean_dice(test_images, test_masks)
+    for _epoch in range(8):
+        for i in range(0, len(images), 8):
+            model.train_batch(images[i : i + 8], masks[i : i + 8])
+    after = model.mean_dice(test_images, test_masks)
+    assert after > before
+    assert after > 0.55
+
+
+def test_blob_images_shapes():
+    images, masks = make_blob_images(5, side=10, seed=3)
+    assert len(images) == len(masks) == 5
+    assert images[0].shape == (10, 10)
+    assert masks[0].dtype == bool
+    assert 0 < masks[0].sum() < 100  # a disk, not empty or full
+
+
+# ---------------------------------------------------------------------------
+# train_with_ordering
+# ---------------------------------------------------------------------------
+
+
+def test_train_with_ordering_eval_schedule():
+    calls = []
+    curve = train_with_ordering(
+        "x",
+        [[0], [1], [2], [3], [4]],
+        train_step=lambda idx: calls.append(list(idx)),
+        evaluate=lambda: 0.5,
+        eval_every=2,
+        seconds_per_iteration=3.0,
+    )
+    assert calls == [[0], [1], [2], [3], [4]]
+    assert curve.iterations == [2, 4, 5]
+    assert curve.metric == [0.5, 0.5, 0.5]
+    assert curve.total_wall_seconds == pytest.approx(15.0)
+    assert curve.wall_time(0) == pytest.approx(6.0)
+
+
+def test_accuracy_curve_empty():
+    curve = AccuracyCurve(loader="x")
+    assert curve.final_metric == 0.0
+    assert curve.total_wall_seconds == 0.0
+
+
+def test_same_ordering_gives_identical_curves():
+    """Determinism: the curve is a pure function of the ordering."""
+    x, y = make_cluster_data(200, seed=5)
+
+    def build():
+        model = MLPClassifier(n_features=x.shape[1], n_classes=int(y.max()) + 1, seed=7)
+        x_test, y_test = make_cluster_data(100, seed=6)
+        return train_with_ordering(
+            "m",
+            [[i % 200 for i in range(j, j + 16)] for j in range(0, 400, 16)],
+            lambda idx: model.train_batch(x[list(idx)], y[list(idx)]),
+            lambda: model.accuracy(x_test, y_test),
+            eval_every=5,
+        )
+
+    c1, c2 = build(), build()
+    assert c1.metric == c2.metric

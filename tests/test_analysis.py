@@ -1,0 +1,94 @@
+"""Tests for the analysis helpers (stats, tables, CSV, sparklines)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    per_sample_costs,
+    preprocessing_stats,
+    render_table,
+    series_table,
+    sparkline,
+    write_csv,
+)
+from repro.data import SyntheticLibriSpeech
+from repro.transforms import speech_pipeline
+
+
+def test_preprocessing_stats_values():
+    stats = preprocessing_stats("w", [0.1, 0.2, 0.3, 0.4])
+    assert stats.avg == pytest.approx(250.0)
+    assert stats.median == pytest.approx(250.0)
+    assert stats.minimum == pytest.approx(100.0)
+    assert stats.maximum == pytest.approx(400.0)
+    assert stats.n == 4
+
+
+def test_preprocessing_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        preprocessing_stats("w", [])
+
+
+def test_preprocessing_stats_row_format():
+    stats = preprocessing_stats("speech", [0.5, 0.5, 3.0])
+    row = stats.row()
+    assert row[0] == "speech"
+    assert "-" in row[-1]  # min-max-std triple
+    assert len(row) == len(stats.header())
+
+
+def test_per_sample_costs_matches_pipeline():
+    ds = SyntheticLibriSpeech(n_samples=10)
+    pipe = speech_pipeline(3.0)
+    costs = per_sample_costs(ds, pipe)
+    assert costs.shape == (10,)
+    assert costs[0] == pytest.approx(pipe.total_cost(ds.spec(0)))
+
+
+def test_render_table_alignment_and_title():
+    out = render_table(["a", "long_header"], [[1, 2], ["xyz", 4]], title="T:")
+    lines = out.splitlines()
+    assert lines[0] == "T:"
+    assert "long_header" in lines[1]
+    # all rows align: separator length equals header length
+    assert len(lines[2]) >= len(lines[1]) - 2
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = os.path.join(tmp_path, "sub", "out.csv")
+    written = write_csv(path, ["x", "y"], [[1, 2], [3, 4]])
+    assert written == path
+    with open(path) as fh:
+        content = fh.read().strip().splitlines()
+    assert content[0] == "x,y"
+    assert content[1] == "1,2"
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    line = sparkline([0, 1, 2, 3], width=4)
+    assert len(line) == 4
+    assert line[0] == " "  # zero maps to blank
+    assert line[-1] == "@"  # peak maps to the densest glyph
+
+
+def test_sparkline_resamples_long_series():
+    line = sparkline(list(range(1000)), width=50)
+    assert len(line) == 50
+
+
+def test_sparkline_all_zero():
+    assert set(sparkline([0, 0, 0])) == {" "}
+
+
+def test_series_table_contains_stats():
+    out = series_table([(0, 1.0), (1, 3.0)], "thing", unit="X")
+    assert "thing" in out
+    assert "avg=" in out and "peak=" in out
+    assert "|" in out
+
+
+def test_series_table_empty():
+    assert "(empty)" in series_table([], "nothing")

@@ -1,0 +1,136 @@
+"""Tests for Pecan's transformation classification and AutoOrder policy."""
+
+import pytest
+
+from repro.data import SyntheticCOCO, SyntheticKiTS19, SyntheticLibriSpeech
+from repro.transforms import (
+    Pipeline,
+    auto_order,
+    classify_pipeline,
+    detection_pipeline,
+    segmentation_pipeline,
+    speech_pipeline,
+)
+from repro.transforms.base import SizeEffect
+
+from .helpers import StubTransform, StubDataset
+
+
+def specs_of(dataset, n=32):
+    return [dataset.spec(i) for i in range(min(n, len(dataset)))]
+
+
+# ---------------------------------------------------------------------------
+# classification
+# ---------------------------------------------------------------------------
+
+
+def test_classify_requires_specs():
+    with pytest.raises(ValueError):
+        classify_pipeline(detection_pipeline(), [])
+
+
+def test_classify_detection_pipeline():
+    ds = SyntheticCOCO(n_samples=64)
+    classes = {c.name: c for c in classify_pipeline(detection_pipeline(), specs_of(ds))}
+    # Resize decodes 0.8 MB JPEGs into 4-12 MB tensors -> inflationary
+    assert classes["Resize2D"].effect == SizeEffect.INFLATIONARY
+    assert classes["RandomHorizontalFlip"].effect == SizeEffect.NEUTRAL
+    assert classes["Normalize"].effect == SizeEffect.NEUTRAL
+
+
+def test_classify_segmentation_pipeline():
+    ds = SyntheticKiTS19(n_samples=16)
+    classes = {
+        c.name: c for c in classify_pipeline(segmentation_pipeline(), specs_of(ds))
+    }
+    # RandomCrop shrinks 136 MB volumes to the 10 MB standard -> deflationary
+    assert classes["RandomCrop3D"].effect == SizeEffect.DEFLATIONARY
+    assert classes["RandomCrop3D"].is_deflationary
+    assert classes["GaussianNoise3D"].effect == SizeEffect.NEUTRAL
+
+
+def test_classify_speech_pipeline():
+    ds = SyntheticLibriSpeech(n_samples=16)
+    classes = {c.name: c for c in classify_pipeline(speech_pipeline(3.0), specs_of(ds))}
+    assert classes["Pad"].effect == SizeEffect.INFLATIONARY
+    assert classes["FilterBank"].effect == SizeEffect.INFLATIONARY
+    assert classes["LightStep"].effect == SizeEffect.NEUTRAL
+
+
+def test_classification_reports_positions_and_ratios():
+    ds = SyntheticCOCO(n_samples=8)
+    classes = classify_pipeline(detection_pipeline(), specs_of(ds))
+    assert [c.position for c in classes] == [0, 1, 2, 3]
+    resize = classes[0]
+    assert resize.mean_ratio > 1.5
+    assert resize.is_inflationary
+
+
+# ---------------------------------------------------------------------------
+# AutoOrder
+# ---------------------------------------------------------------------------
+
+
+def test_auto_order_moves_resize_last_for_detection():
+    ds = SyntheticCOCO(n_samples=32)
+    reordered, order = auto_order(detection_pipeline(), specs_of(ds))
+    assert reordered.names[-1] == "Resize2D"
+    assert order[-1] == 0
+
+
+def test_auto_order_is_noop_for_segmentation():
+    """Paper §5.1: segmentation transforms already optimally ordered."""
+    ds = SyntheticKiTS19(n_samples=16)
+    reordered, order = auto_order(segmentation_pipeline(), specs_of(ds))
+    assert order == list(range(5))
+    assert reordered.names == segmentation_pipeline().names
+
+
+def test_auto_order_is_stable_for_equal_ranks():
+    specs = [StubDataset([0.01]).spec(0)]
+    pipeline = Pipeline(
+        [StubTransform(label=f"N{i}", size_ratio=1.0) for i in range(5)]
+    )
+    _reordered, order = auto_order(pipeline, specs)
+    assert order == list(range(5))
+
+
+def test_auto_order_respects_barriers():
+    specs = [StubDataset([0.01]).spec(0)]
+    pipeline = Pipeline(
+        [
+            StubTransform(label="Inflate", size_ratio=2.0),
+            StubTransform(label="Wall", size_ratio=1.0, barrier=True),
+            StubTransform(label="Shrink", size_ratio=0.5),
+        ]
+    )
+    _reordered, order = auto_order(pipeline, specs)
+    # nothing may cross the barrier: each section is a singleton here
+    assert order == [0, 1, 2]
+
+
+def test_auto_order_sorts_within_section():
+    specs = [StubDataset([0.01]).spec(0)]
+    pipeline = Pipeline(
+        [
+            StubTransform(label="Grow", size_ratio=3.0),
+            StubTransform(label="Keep", size_ratio=1.0),
+            StubTransform(label="Cut", size_ratio=0.25),
+        ]
+    )
+    reordered, order = auto_order(pipeline, specs)
+    assert reordered.names == ["Cut", "Keep", "Grow"]
+    assert order == [2, 1, 0]
+
+
+def test_auto_order_speech_moves_pad_within_presection():
+    ds = SyntheticLibriSpeech(n_samples=16)
+    pipeline = speech_pipeline(3.0)
+    reordered, _order = auto_order(pipeline, specs_of(ds))
+    names = reordered.names
+    # Pad's inflation is pushed as late as the (measured) ordering allows;
+    # it must never precede a neutral transform it originally preceded
+    assert names.index("SpecAugment") < names.index("Pad") or names.index(
+        "Pad"
+    ) > 0

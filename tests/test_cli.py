@@ -1,0 +1,54 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out
+    assert "table2" in out
+    assert "distributed" in out
+
+
+def test_cli_run_single_experiment(capsys):
+    assert main(["run", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out
+    assert "PASS" in out
+
+
+def test_cli_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_cli_run_with_output_dir(tmp_path, capsys):
+    assert main(["run", "fig1b", "--scale", "0.02", "--output", str(tmp_path)]) == 0
+    assert os.path.exists(tmp_path / "fig1b.txt")
+
+
+def test_report_generator_subset(tmp_path):
+    import io
+
+    from repro.experiments import report as report_module
+
+    content = report_module.generate(
+        scale=0.02, experiment_ids=["fig2"], stream=io.StringIO()
+    )
+    assert "## fig2:" in content
+    assert "Shape checks" in content
+    report_module.main(
+        ["--scale", "0.02", "--only", "fig2", "--output", str(tmp_path / "E.md")]
+    )
+    assert os.path.exists(tmp_path / "E.md")
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,356 @@
+"""Unit tests for MinatoLoader's components: profiler, scheduler, balancer,
+queues, batch records and configuration validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.clock import ThreadLocalClock
+from repro.core import (
+    Batch,
+    LoadBalancer,
+    MinatoConfig,
+    TimeoutProfiler,
+    WorkerScheduler,
+    WorkQueue,
+)
+from repro.core.queues import QueueClosed
+from repro.data.sample import Sample
+from repro.errors import ConfigurationError
+from repro.transforms.base import WorkContext
+
+from .helpers import StubDataset, stub_pipeline
+
+# ---------------------------------------------------------------------------
+# MinatoConfig
+# ---------------------------------------------------------------------------
+
+
+def test_config_defaults_match_paper():
+    cfg = MinatoConfig()
+    assert cfg.num_workers == 12  # §5.1
+    assert cfg.queue_capacity == 100  # §5.1
+    assert cfg.timeout_percentile == 75.0  # §4.2
+    assert cfg.fallback_percentile == 90.0  # §4.2
+    assert cfg.poll_interval == pytest.approx(0.010)  # Algorithm 1
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"batch_size": 0},
+        {"num_workers": 0},
+        {"num_gpus": 0},
+        {"slow_workers": 0},
+        {"queue_capacity": 0},
+        {"timeout_percentile": 0},
+        {"timeout_percentile": 120},
+        {"fallback_percentile": 50},  # below timeout percentile
+        {"max_slow_fraction": 0},
+        {"warmup_samples": 0},
+        {"timeout_override": -1.0},
+        {"min_workers": 5, "max_workers": 2},
+        {"delta_clip": 0},
+        {"poll_interval": 0},
+        {"timing": "psychic"},
+    ],
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        MinatoConfig(**kwargs)
+
+
+def test_config_total_initial_workers_capped():
+    cfg = MinatoConfig(num_workers=12, num_gpus=4, max_workers=30)
+    assert cfg.total_initial_workers == 30
+
+
+# ---------------------------------------------------------------------------
+# TimeoutProfiler
+# ---------------------------------------------------------------------------
+
+
+def test_profiler_warmup_is_optimistic():
+    profiler = TimeoutProfiler(warmup_samples=10)
+    for _ in range(9):
+        profiler.record(0.1)
+    assert profiler.in_warmup
+    assert profiler.timeout() == math.inf
+
+
+def test_profiler_p75_after_warmup():
+    profiler = TimeoutProfiler(percentile=75, warmup_samples=10)
+    for t in np.linspace(0.1, 1.0, 100):
+        profiler.record(float(t))
+    assert not profiler.in_warmup
+    assert profiler.timeout() == pytest.approx(np.percentile(np.linspace(0.1, 1.0, 100), 75), rel=0.05)
+
+
+def test_profiler_override_wins():
+    profiler = TimeoutProfiler(override=0.42, warmup_samples=5)
+    assert profiler.timeout() == 0.42
+    for _ in range(10):
+        profiler.record(5.0)
+    assert profiler.timeout() == 0.42
+
+
+def test_profiler_fallback_to_p90_when_too_many_slow():
+    profiler = TimeoutProfiler(
+        percentile=75, fallback_percentile=90, warmup_samples=10, max_slow_fraction=0.4
+    )
+    # Feed a stream where >40% of samples get flagged slow.
+    for i in range(200):
+        profiler.record(1.0 + (i % 2), flagged_slow=(i % 2 == 0))
+    profiler.timeout()
+    assert profiler.active_percentile == 90
+
+
+def test_profiler_recovers_from_fallback():
+    profiler = TimeoutProfiler(warmup_samples=10, max_slow_fraction=0.4)
+    for i in range(100):
+        profiler.record(1.0, flagged_slow=True)
+    profiler.timeout()
+    assert profiler.active_percentile == 90
+    for i in range(2000):
+        profiler.record(1.0, flagged_slow=False)
+    profiler.timeout()
+    assert profiler.active_percentile == 75
+
+
+def test_profiler_sliding_window_tracks_drift():
+    profiler = TimeoutProfiler(warmup_samples=10, window=64)
+    for _ in range(64):
+        profiler.record(0.1)
+    early = profiler.timeout()
+    for _ in range(64):
+        profiler.record(10.0)
+    late = profiler.timeout()
+    assert late > early * 10
+
+
+def test_profiler_rejects_negative_times():
+    profiler = TimeoutProfiler()
+    with pytest.raises(ValueError):
+        profiler.record(-1.0)
+
+
+def test_profiler_snapshot_fields():
+    profiler = TimeoutProfiler(warmup_samples=4)
+    for t in (0.1, 0.2, 0.3, 0.4, 0.5):
+        profiler.record(t)
+    snap = profiler.snapshot()
+    assert snap.observations == 5
+    assert not snap.in_warmup
+    assert snap.mean_seconds == pytest.approx(0.3)
+    assert snap.p90_seconds >= snap.p75_seconds
+
+
+# ---------------------------------------------------------------------------
+# WorkerScheduler (Formulas 1-2)
+# ---------------------------------------------------------------------------
+
+
+def test_scheduler_scales_up_when_queues_empty_and_cpu_busy():
+    s = WorkerScheduler(alpha=2, beta=2, cpu_threshold=0.7, delta_clip=2, max_workers=64)
+    d = s.decide(workers=12, queue_fill=0.0, cpu_usage=1.0)
+    assert d.clipped_delta == 2
+    assert d.new_workers == 14
+
+
+def test_scheduler_scales_down_when_queues_full_and_cpu_idle():
+    s = WorkerScheduler(alpha=2, beta=2, cpu_threshold=0.7, delta_clip=2)
+    # Formula 2 = 2*(1-1) + 2*(0-0.7) = -1.4 -> -1
+    d = s.decide(workers=12, queue_fill=1.0, cpu_usage=0.0)
+    assert d.clipped_delta == -1
+    assert d.new_workers == 11
+
+
+def test_scheduler_delta_clipped_to_range():
+    s = WorkerScheduler(alpha=2, beta=6, cpu_threshold=0.7, delta_clip=2)
+    # Formula 2 = 2*0 + 6*(0-0.7) = -4.2 -> clipped to -2
+    d = s.decide(workers=12, queue_fill=1.0, cpu_usage=0.0)
+    assert d.raw_delta == pytest.approx(-4.2)
+    assert d.clipped_delta == -2
+    assert d.new_workers == 10
+
+
+def test_scheduler_steady_state_no_change():
+    s = WorkerScheduler(alpha=2, beta=2, cpu_threshold=0.7)
+    # Formula 2 = 2*(1-0.9) + 2*(0.6-0.7) = 0.0
+    d = s.decide(workers=12, queue_fill=0.9, cpu_usage=0.6)
+    assert d.clipped_delta == 0
+    assert d.new_workers == 12
+
+
+def test_scheduler_respects_bounds():
+    s = WorkerScheduler(min_workers=4, max_workers=16)
+    assert s.decide(15, 0.0, 1.0).new_workers == 16
+    assert s.decide(5, 1.0, 0.0).new_workers == 4
+
+
+def test_scheduler_clips_inputs():
+    s = WorkerScheduler()
+    d = s.decide(10, queue_fill=-3.0, cpu_usage=7.0)
+    assert d.queue_fill == 0.0
+    assert d.cpu_usage == 1.0
+
+
+def test_scheduler_validation():
+    with pytest.raises(ValueError):
+        WorkerScheduler(delta_clip=0)
+    with pytest.raises(ValueError):
+        WorkerScheduler(cpu_threshold=1.5)
+    with pytest.raises(ValueError):
+        WorkerScheduler(min_workers=10, max_workers=2)
+
+
+# ---------------------------------------------------------------------------
+# WorkQueue
+# ---------------------------------------------------------------------------
+
+
+def test_workqueue_roundtrip_and_counters():
+    q = WorkQueue(capacity=4, name="t")
+    assert q.try_put("a")
+    assert q.try_put("b")
+    assert len(q) == 2
+    assert q.try_get() == "a"
+    assert q.total_put == 2 and q.total_got == 1
+    assert q.peak_size == 2
+
+
+def test_workqueue_capacity_and_fill_fraction():
+    q = WorkQueue(capacity=2)
+    q.try_put(1)
+    assert q.fill_fraction() == pytest.approx(0.5)
+    q.try_put(2)
+    assert not q.try_put(3)
+
+
+def test_workqueue_try_get_empty():
+    q = WorkQueue(capacity=2)
+    assert q.try_get() is None
+
+
+def test_workqueue_closed_put_raises():
+    q = WorkQueue(capacity=2)
+    q.close()
+    with pytest.raises(QueueClosed):
+        q.try_put(1)
+
+
+def test_workqueue_get_returns_none_when_closed_and_drained():
+    q = WorkQueue(capacity=2)
+    q.try_put("x")
+    q.close()
+    assert q.get() == "x"
+    assert q.get() is None
+
+
+def test_workqueue_get_interruptible_by_stop():
+    import threading
+
+    q = WorkQueue(capacity=2)
+    stop = threading.Event()
+    stop.set()
+    assert q.get(stop=stop) is None
+    assert q.put("x", stop=stop) is False
+
+
+# ---------------------------------------------------------------------------
+# LoadBalancer (Algorithm 1)
+# ---------------------------------------------------------------------------
+
+
+def make_balancer(n_stages=4):
+    pipeline = stub_pipeline(n_stages)
+    clock = ThreadLocalClock()
+    return pipeline, LoadBalancer(pipeline, clock, timing="charged")
+
+
+def test_balancer_fast_sample_completes_within_budget():
+    pipeline, balancer = make_balancer()
+    ds = StubDataset([0.01])
+    outcome = balancer.process(ds.load(0), WorkContext(), timeout_seconds=1.0)
+    assert not outcome.timed_out
+    assert outcome.sample.applied == pipeline.names
+    assert outcome.elapsed_seconds == pytest.approx(0.01)
+
+
+def test_balancer_slow_sample_times_out_at_transform_boundary():
+    pipeline, balancer = make_balancer(n_stages=4)
+    ds = StubDataset([0.4])  # 0.1 per stage
+    outcome = balancer.process(ds.load(0), WorkContext(), timeout_seconds=0.15)
+    assert outcome.timed_out
+    # 0.1 after stage0 (<=0.15), 0.2 after stage1 (>0.15) -> resume at 2
+    assert outcome.resume_index == 2
+    assert outcome.sample.applied == ["Stage0", "Stage1"]
+
+
+def test_balancer_resume_finishes_pipeline_and_flags_slow():
+    pipeline, balancer = make_balancer(n_stages=4)
+    ds = StubDataset([0.4])
+    ctx = WorkContext()
+    outcome = balancer.process(ds.load(0), ctx, timeout_seconds=0.15)
+    finished = balancer.resume(outcome.sample, outcome.resume_index, WorkContext())
+    assert finished.applied == pipeline.names
+    assert finished.flagged_slow
+    assert finished.preprocess_seconds == pytest.approx(0.4)
+
+
+def test_balancer_timeout_on_final_transform_routes_slow_complete():
+    pipeline, balancer = make_balancer(n_stages=2)
+    ds = StubDataset([0.2])  # 0.1 per stage
+    outcome = balancer.process(ds.load(0), WorkContext(), timeout_seconds=0.15)
+    assert outcome.timed_out
+    assert outcome.resume_index == 2  # == len(pipeline): nothing left to run
+    finished = balancer.resume(outcome.sample, outcome.resume_index, WorkContext())
+    assert finished.applied == pipeline.names
+    assert finished.flagged_slow
+
+
+def test_balancer_infinite_timeout_never_times_out():
+    _pipeline, balancer = make_balancer()
+    ds = StubDataset([100.0])
+    outcome = balancer.process(ds.load(0), WorkContext(), timeout_seconds=math.inf)
+    assert not outcome.timed_out
+
+
+def test_balancer_rejects_unknown_timing():
+    pipeline = stub_pipeline(2)
+    with pytest.raises(ValueError):
+        LoadBalancer(pipeline, ThreadLocalClock(), timing="nope")
+
+
+# ---------------------------------------------------------------------------
+# Batch
+# ---------------------------------------------------------------------------
+
+
+def test_batch_properties():
+    ds = StubDataset([0.01, 0.01, 0.01], raw_nbytes=100)
+    samples = [ds.load(i) for i in range(3)]
+    samples[1].flagged_slow = True
+    for s in samples:
+        s.nbytes = 100
+    batch = Batch(samples=samples, gpu_index=1, sequence=7)
+    assert batch.size == 3
+    assert batch.indices == [0, 1, 2]
+    assert batch.slow_count == 1
+    assert batch.slow_fraction == pytest.approx(1 / 3)
+    assert batch.nbytes == 300
+    assert len(batch) == 3
+
+
+def test_batch_stack_homogeneous():
+    ds = StubDataset([0.01, 0.01], payload=np.ones(5, dtype=np.float32))
+    batch = Batch(samples=[ds.load(0), ds.load(1)])
+    stacked = batch.stack()
+    assert stacked.shape == (2, 5)
+
+
+def test_batch_stack_heterogeneous_returns_none():
+    a = Sample(spec=StubDataset([0.01]).spec(0), data=np.ones(3))
+    b = Sample(spec=StubDataset([0.01]).spec(0), data=np.ones(4))
+    assert Batch(samples=[a, b]).stack() is None

@@ -1,0 +1,134 @@
+"""Tests for the multi-node distributed-training extension (paper §6)."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.distributed import AllReduceModel, run_distributed
+from repro.sim.runner import run_simulation
+from repro.sim.workloads import CONFIG_A, make_workload
+
+
+def tiny_speech(scale=0.02):
+    return make_workload("speech_3s", dataset_size=120).scaled(scale)
+
+
+# ---------------------------------------------------------------------------
+# AllReduceModel
+# ---------------------------------------------------------------------------
+
+
+def test_allreduce_free_for_single_gpu():
+    assert AllReduceModel().step_cost(1) == 0.0
+
+
+def test_allreduce_grows_with_world_size():
+    model = AllReduceModel()
+    costs = [model.step_cost(w) for w in (2, 4, 8, 16)]
+    assert costs == sorted(costs)
+    assert costs[0] > 0
+
+
+def test_allreduce_bandwidth_term_bounded():
+    """The ring term approaches 2x gradient_bytes/bandwidth asymptotically."""
+    model = AllReduceModel(latency=0.0, gradient_bytes=1e9, bandwidth=1e10)
+    assert model.step_cost(1000) < 2.0 * 1e9 / 1e10 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# run_distributed
+# ---------------------------------------------------------------------------
+
+
+def test_distributed_validates_nodes():
+    with pytest.raises(ConfigurationError):
+        run_distributed("minato", tiny_speech(), CONFIG_A, nodes=0)
+
+
+def test_single_node_matches_local_simulation_shape():
+    wl = tiny_speech()
+    local = run_simulation("minato", wl, CONFIG_A, 2)
+    dist = run_distributed(
+        "minato",
+        wl,
+        CONFIG_A,
+        nodes=1,
+        gpus_per_node=2,
+        steps_per_gpu=wl.batches_per_gpu(2),
+    )
+    # same workload through the same loader model: times should be close
+    # (the distributed runner adds only the 2-GPU sync barrier)
+    assert dist.training_time == pytest.approx(local.training_time, rel=0.3)
+    assert dist.samples == local.samples
+
+
+def test_distributed_step_and_sample_accounting():
+    wl = tiny_speech()
+    result = run_distributed(
+        "minato", wl, CONFIG_A, nodes=2, gpus_per_node=2, steps_per_gpu=5
+    )
+    assert result.world_size == 4
+    assert result.steps == 4 * 5
+    assert result.samples == 4 * 5 * wl.batch_size
+
+
+def test_distributed_sync_cost_accumulates():
+    wl = tiny_speech()
+    cheap = run_distributed(
+        "minato",
+        wl,
+        CONFIG_A,
+        nodes=2,
+        steps_per_gpu=5,
+        allreduce=AllReduceModel(latency=0.0, gradient_bytes=0.0),
+    )
+    expensive = run_distributed(
+        "minato",
+        wl,
+        CONFIG_A,
+        nodes=2,
+        steps_per_gpu=5,
+        allreduce=AllReduceModel(latency=0.1, gradient_bytes=0.0),
+    )
+    assert cheap.sync_seconds_total == 0.0
+    assert expensive.sync_seconds_total > 0
+    assert expensive.training_time > cheap.training_time
+
+
+def test_distributed_minato_beats_pytorch_across_nodes():
+    wl = tiny_speech(scale=0.03)
+    for nodes in (1, 2):
+        torch_result = run_distributed(
+            "pytorch", wl, CONFIG_A, nodes=nodes, steps_per_gpu=6
+        )
+        minato_result = run_distributed(
+            "minato", wl, CONFIG_A, nodes=nodes, steps_per_gpu=6
+        )
+        assert minato_result.training_time < torch_result.training_time
+
+
+def test_distributed_barrier_synchronizes_steps():
+    """With a barrier, no GPU can run far ahead: both nodes end together."""
+    wl = tiny_speech()
+    result = run_distributed(
+        "minato", wl, CONFIG_A, nodes=2, gpus_per_node=1, steps_per_gpu=8
+    )
+    assert result.steps == 16
+
+
+# ---------------------------------------------------------------------------
+# SimResult CSV export
+# ---------------------------------------------------------------------------
+
+
+def test_sim_result_to_csv(tmp_path):
+    wl = tiny_speech()
+    result = run_simulation("minato", wl, CONFIG_A, 1)
+    paths = result.to_csv(str(tmp_path))
+    assert len(paths) == 4
+    for path in paths:
+        assert os.path.exists(path)
+        with open(path) as fh:
+            header = fh.readline().strip()
+        assert header.startswith("t_seconds,")

@@ -1,0 +1,304 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import EmptySchedule, SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(3.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [3.5]
+
+
+def test_zero_delay_timeout_fires_at_current_instant():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(0)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [0.0]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(2, "b"))
+    env.process(proc(1, "a"))
+    env.process(proc(3, "c"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_creation_order():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in ("x", "y", "z"):
+        env.process(proc(tag))
+    env.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(1)
+        return 42
+
+    def outer(results):
+        value = yield env.process(inner())
+        results.append(value)
+
+    results = []
+    env.process(outer(results))
+    env.run()
+    assert results == [42]
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2)
+        return "done"
+
+    value = env.run(until=env.process(proc()))
+    assert value == "done"
+    assert env.now == 2
+
+
+def test_run_until_time_stops_and_sets_now():
+    env = Environment()
+    log = []
+
+    def proc():
+        while True:
+            yield env.timeout(1)
+            log.append(env.now)
+
+    env.process(proc())
+    env.run(until=3.5)
+    assert log == [1, 2, 3]
+    assert env.now == 3.5
+
+
+def test_run_until_past_time_raises():
+    env = Environment()
+    env.run(until=5)
+    with pytest.raises(ValueError):
+        env.run(until=2)
+
+
+def test_run_until_untriggered_event_with_empty_schedule_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(EmptySchedule):
+        env.run(until=event)
+
+
+def test_event_succeed_twice_raises():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_propagates_to_waiter():
+    env = Environment()
+    event = env.event()
+
+    def failer():
+        yield env.timeout(1)
+        event.fail(RuntimeError("boom"))
+
+    def waiter(log):
+        try:
+            yield event
+        except RuntimeError as exc:
+            log.append(str(exc))
+
+    log = []
+    env.process(failer())
+    env.process(waiter(log))
+    env.run()
+    assert log == ["boom"]
+
+
+def test_unhandled_process_exception_surfaces_from_run():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        raise ValueError("unhandled")
+
+    env.process(proc())
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_yield_on_already_processed_event_resumes_immediately():
+    env = Environment()
+    log = []
+
+    def proc():
+        timeout = env.timeout(1)
+        yield env.timeout(2)  # the first timeout is long processed by now
+        yield timeout
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [2.0]
+
+
+def test_interrupt_wakes_process_early():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+            log.append("finished")
+        except Interrupt as interrupt:
+            log.append(("interrupted", env.now, interrupt.cause))
+
+    def interrupter(victim):
+        yield env.timeout(5)
+        victim.interrupt(cause="deadline")
+
+    victim = env.process(sleeper())
+    env.process(interrupter(victim))
+    env.run()
+    assert log == [("interrupted", 5.0, "deadline")]
+
+
+def test_interrupt_terminated_process_raises():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(1)
+        log.append(env.now)
+
+    def interrupter(victim):
+        yield env.timeout(5)
+        victim.interrupt()
+
+    victim = env.process(sleeper())
+    env.process(interrupter(victim))
+    env.run()
+    assert log == [6.0]
+
+
+def test_any_of_triggers_on_first():
+    env = Environment()
+    log = []
+
+    def proc():
+        first = env.timeout(1, value="fast")
+        second = env.timeout(5, value="slow")
+        result = yield AnyOf(env, [first, second])
+        log.append((env.now, list(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert log == [(1.0, ["fast"])]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    log = []
+
+    def proc():
+        events = [env.timeout(d, value=d) for d in (1, 3, 2)]
+        result = yield AllOf(env, events)
+        log.append((env.now, sorted(result.values())))
+
+    env.process(proc())
+    env.run()
+    assert log == [(3.0, [1, 2, 3])]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_yield_non_event_is_an_error():
+    env = Environment()
+
+    def proc():
+        yield 42
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_many_processes_scale():
+    env = Environment()
+    counter = []
+
+    def proc(delay):
+        yield env.timeout(delay)
+        counter.append(delay)
+
+    for i in range(1000):
+        env.process(proc(i % 17))
+    env.run()
+    assert len(counter) == 1000

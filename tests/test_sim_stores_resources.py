@@ -1,0 +1,369 @@
+"""Tests for simulation stores, resources and bandwidth pipes."""
+
+import pytest
+
+from repro.sim import BandwidthPipe, Environment, PriorityStore, Resource, Store
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        yield store.put("b")
+
+    def consumer():
+        item = yield store.get()
+        log.append(item)
+        item = yield store.get()
+        log.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == ["a", "b"]
+
+
+def test_store_get_blocks_until_item_available():
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def consumer():
+        item = yield store.get()
+        log.append((env.now, item))
+
+    def producer():
+        yield env.timeout(4)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert log == [(4.0, "late")]
+
+
+def test_store_put_blocks_when_full():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put(1)
+        log.append(("put1", env.now))
+        yield store.put(2)
+        log.append(("put2", env.now))
+
+    def consumer():
+        yield env.timeout(10)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert ("put1", 0.0) in log
+    assert ("put2", 10.0) in log
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer():
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            out.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_store_try_get_returns_none_when_empty():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+
+
+def test_store_try_put_respects_capacity():
+    env = Environment()
+    store = Store(env, capacity=2)
+    assert store.try_put(1)
+    assert store.try_put(2)
+    assert not store.try_put(3)
+    assert store.try_get() == 1
+    assert store.try_put(3)
+
+
+def test_store_try_put_hands_to_waiting_getter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    env.process(consumer())
+    env.run()  # consumer now blocked on empty store
+    assert store.try_put("x")
+    env.run()
+    assert got == ["x"]
+
+
+def test_store_capacity_zero_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_on_change_sees_size_updates():
+    env = Environment()
+    store = Store(env)
+    sizes = []
+    store.on_change = lambda now, size: sizes.append(size)
+    store.try_put(1)
+    store.try_put(2)
+    store.try_get()
+    assert sizes[-1] == 1
+
+
+def test_multiple_consumers_share_items():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    def producer():
+        yield env.timeout(1)
+        yield store.put("only")
+
+    env.process(consumer("c1"))
+    env.process(consumer("c2"))
+    env.process(producer())
+    env.run(until=10)
+    assert got == [("c1", "only")]  # FIFO: first waiter wins
+
+
+# ---------------------------------------------------------------------------
+# PriorityStore
+# ---------------------------------------------------------------------------
+
+
+def test_priority_store_orders_by_key():
+    env = Environment()
+    store = PriorityStore(env)
+    store.try_put((5, "five"))
+    store.try_put((1, "one"))
+    store.try_put((3, "three"))
+    assert store.try_get() == (1, "one")
+    assert store.try_get() == (3, "three")
+    assert store.try_get() == (5, "five")
+
+
+def test_priority_store_blocking_get():
+    env = Environment()
+    store = PriorityStore(env)
+    out = []
+
+    def consumer():
+        item = yield store.get()
+        out.append(item)
+
+    def producer():
+        yield env.timeout(1)
+        yield store.put((2, "b"))
+        yield store.put((1, "a"))
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert out == [(2, "b")]  # the get was already pending when (2, b) arrived
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+
+def test_resource_serializes_users():
+    env = Environment()
+    gpu = Resource(env, capacity=1)
+    log = []
+
+    def user(tag, hold):
+        with gpu.request() as req:
+            yield req
+            log.append((tag, "start", env.now))
+            yield env.timeout(hold)
+        log.append((tag, "end", env.now))
+
+    env.process(user("a", 5))
+    env.process(user("b", 3))
+    env.run()
+    assert ("a", "start", 0.0) in log
+    assert ("b", "start", 5.0) in log
+    assert ("b", "end", 8.0) in log
+
+
+def test_resource_capacity_two_runs_concurrently():
+    env = Environment()
+    pool = Resource(env, capacity=2)
+    ends = []
+
+    def user(hold):
+        with pool.request() as req:
+            yield req
+            yield env.timeout(hold)
+        ends.append(env.now)
+
+    for _ in range(2):
+        env.process(user(4))
+    env.run()
+    assert ends == [4.0, 4.0]
+
+
+def test_resource_count_tracks_users():
+    env = Environment()
+    res = Resource(env, capacity=2)
+
+    def user():
+        with res.request() as req:
+            yield req
+            yield env.timeout(1)
+
+    env.process(user())
+    env.process(user())
+    env.process(user())
+    env.run(until=0.5)
+    assert res.count == 2
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_release_unqueued_request_is_noop():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req_a = res.request()
+    req_b = res.request()  # queued
+    res.release(req_b)  # abandon while still queued
+    res.release(req_a)
+    assert res.count == 0
+    assert not res.queue
+
+
+# ---------------------------------------------------------------------------
+# BandwidthPipe
+# ---------------------------------------------------------------------------
+
+
+def test_bandwidth_pipe_single_transfer_time():
+    env = Environment()
+    disk = BandwidthPipe(env, bandwidth=100.0)
+    done = []
+
+    def reader():
+        yield disk.transfer(250)
+        done.append(env.now)
+
+    env.process(reader())
+    env.run()
+    assert done == [pytest.approx(2.5)]
+
+
+def test_bandwidth_pipe_serializes_transfers():
+    env = Environment()
+    disk = BandwidthPipe(env, bandwidth=100.0)
+    done = []
+
+    def reader(tag, nbytes):
+        yield disk.transfer(nbytes)
+        done.append((tag, env.now))
+
+    env.process(reader("a", 100))
+    env.process(reader("b", 100))
+    env.run()
+    assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+
+def test_bandwidth_pipe_latency_added_per_transfer():
+    env = Environment()
+    disk = BandwidthPipe(env, bandwidth=100.0, latency=0.5)
+    done = []
+
+    def reader():
+        yield disk.transfer(100)
+        done.append(env.now)
+
+    env.process(reader())
+    env.run()
+    assert done == [pytest.approx(1.5)]
+
+
+def test_bandwidth_pipe_records_transfers():
+    env = Environment()
+    disk = BandwidthPipe(env, bandwidth=10.0)
+
+    def reader():
+        yield disk.transfer(20)
+
+    env.process(reader())
+    env.run()
+    assert disk.transfers == [(0.0, pytest.approx(2.0), 20.0)]
+
+
+def test_bandwidth_pipe_throughput_series_conserves_volume():
+    env = Environment()
+    disk = BandwidthPipe(env, bandwidth=10.0)
+
+    def reader():
+        yield disk.transfer(20)
+        yield env.timeout(3)
+        yield disk.transfer(10)
+
+    env.process(reader())
+    env.run()
+    series = disk.throughput_series(bucket=1.0)
+    total = sum(rate for _t, rate in series)  # bucket=1 s, so rate sums bytes
+    assert total == pytest.approx(30.0)
+
+
+def test_bandwidth_pipe_rejects_bad_args():
+    env = Environment()
+    with pytest.raises(ValueError):
+        BandwidthPipe(env, bandwidth=0)
+    disk = BandwidthPipe(env, bandwidth=1)
+    with pytest.raises(ValueError):
+        disk.transfer(-1)
+    with pytest.raises(ValueError):
+        disk.throughput_series(bucket=0)
+
+
+def test_bandwidth_pipe_backlog():
+    env = Environment()
+    disk = BandwidthPipe(env, bandwidth=1.0)
+    disk.transfer(10)
+    assert disk.backlog == pytest.approx(10.0)

@@ -1,0 +1,254 @@
+"""Tests for the transform framework and the three workload pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.clock import ThreadLocalClock
+from repro.data import SyntheticCOCO, SyntheticKiTS19, SyntheticLibriSpeech
+from repro.data.sample import Sample, SampleSpec
+from repro.errors import ConfigurationError
+from repro.transforms import (
+    LIGHT_TOTAL_SECONDS,
+    HeavyStep,
+    LightStep,
+    Pipeline,
+    RandomCrop3D,
+    Resize2D,
+    WorkContext,
+    detection_pipeline,
+    segmentation_pipeline,
+    speech_pipeline,
+)
+from repro.transforms.base import PipelineState
+
+MB = 1024 * 1024
+
+
+def make_ctx(seed=0):
+    return WorkContext(clock=ThreadLocalClock(), rng=np.random.default_rng(seed))
+
+
+# ---------------------------------------------------------------------------
+# Pipeline basics
+# ---------------------------------------------------------------------------
+
+
+def test_pipeline_requires_transforms():
+    with pytest.raises(ConfigurationError):
+        Pipeline([])
+
+
+def test_cost_profile_is_deterministic():
+    ds = SyntheticKiTS19(n_samples=4)
+    pipe = segmentation_pipeline()
+    spec = ds.spec(0)
+    assert pipe.cost_profile(spec) == pipe.cost_profile(spec)
+
+
+def test_total_cost_equals_profile_sum():
+    ds = SyntheticCOCO(n_samples=4)
+    pipe = detection_pipeline()
+    spec = ds.spec(2)
+    assert pipe.total_cost(spec) == pytest.approx(sum(pipe.cost_profile(spec)))
+
+
+def test_reordered_rejects_bad_permutation():
+    pipe = detection_pipeline()
+    with pytest.raises(ConfigurationError):
+        pipe.reordered([0, 1, 1, 2])
+
+
+def test_reordered_permutes_names():
+    pipe = detection_pipeline()
+    reordered = pipe.reordered([3, 2, 1, 0])
+    assert reordered.names == list(reversed(pipe.names))
+
+
+def test_apply_all_runs_every_transform_and_charges_clock():
+    ds = SyntheticKiTS19(n_samples=2)
+    pipe = segmentation_pipeline()
+    sample = ds.load(0)
+    ctx = make_ctx()
+    out = pipe.apply_all(sample, ctx)
+    assert out.applied == pipe.names
+    assert ctx.charged_seconds == pytest.approx(pipe.total_cost(sample.spec))
+    assert out.preprocess_seconds == pytest.approx(pipe.total_cost(sample.spec))
+
+
+def test_apply_all_resume_from_middle_matches_cost_model():
+    ds = SyntheticLibriSpeech(n_samples=6)
+    pipe = speech_pipeline(3.0)
+    sample = ds.load(0)  # index 0 is heavy
+    ctx = make_ctx()
+    # apply the first three, then resume
+    state = pipe.initial_state(sample.spec)
+    for i in range(3):
+        sample = pipe[i].apply(sample, ctx, state)
+    pipe.apply_all(sample, ctx, start=3)
+    assert sample.applied == pipe.names
+    assert ctx.charged_seconds == pytest.approx(pipe.total_cost(sample.spec))
+
+
+def test_size_trace_monotonic_bookkeeping():
+    ds = SyntheticLibriSpeech(n_samples=3)
+    pipe = speech_pipeline(3.0)
+    trace = pipe.size_trace(ds.spec(1))
+    assert len(trace) == len(pipe)
+    # FilterBank inflates by 16x
+    assert trace[2] > trace[1] * 10
+
+
+# ---------------------------------------------------------------------------
+# Image segmentation pipeline
+# ---------------------------------------------------------------------------
+
+
+def test_segmentation_cost_scales_with_raw_size():
+    pipe = segmentation_pipeline()
+    small = SampleSpec(index=0, raw_nbytes=40 * MB, seed=7, modality="image3d")
+    large = SampleSpec(index=1, raw_nbytes=300 * MB, seed=7, modality="image3d")
+    assert pipe.total_cost(large) > 2.0 * pipe.total_cost(small)
+
+
+def test_segmentation_tiny_samples_are_fast():
+    pipe = segmentation_pipeline()
+    normal = SampleSpec(index=0, raw_nbytes=136 * MB, seed=3, modality="image3d")
+    tiny = SampleSpec(
+        index=0, raw_nbytes=136 * MB, seed=3, modality="image3d", attrs={"tiny": 1.0}
+    )
+    assert pipe.total_cost(tiny) < 0.05 * pipe.total_cost(normal)
+
+
+def test_segmentation_output_standardized_to_10mb():
+    ds = SyntheticKiTS19(n_samples=3)
+    pipe = segmentation_pipeline()
+    for spec in ds.specs():
+        assert pipe.output_nbytes(spec) == 10 * MB
+
+
+def test_random_crop_reduces_volume():
+    ds = SyntheticKiTS19(n_samples=1)
+    sample = ds.load(0)
+    original_size = sample.data.size
+    crop = RandomCrop3D(crop_fraction=0.5)
+    state = PipelineState(nbytes=float(sample.spec.raw_nbytes))
+    out = crop.apply(sample, make_ctx(), state)
+    assert out.data.size < original_size
+
+
+def test_random_crop_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        RandomCrop3D(crop_fraction=0.0)
+
+
+def test_segmentation_real_execution_produces_float32():
+    ds = SyntheticKiTS19(n_samples=1)
+    pipe = segmentation_pipeline()
+    out = pipe.apply_all(ds.load(0), make_ctx())
+    assert out.data.dtype == np.float32
+
+
+# ---------------------------------------------------------------------------
+# Object detection pipeline
+# ---------------------------------------------------------------------------
+
+
+def test_detection_cost_mostly_independent_of_size():
+    """Paper §3.2: image size does not predict preprocessing time."""
+    ds = SyntheticCOCO(n_samples=500)
+    pipe = detection_pipeline()
+    sizes = np.array([s.raw_nbytes for s in ds.specs()], dtype=float)
+    costs = np.array([pipe.total_cost(s) for s in ds.specs()])
+    corr = np.corrcoef(sizes, costs)[0, 1]
+    assert abs(corr) < 0.2
+
+
+def test_detection_has_rare_outliers():
+    ds = SyntheticCOCO(n_samples=2000)
+    pipe = detection_pipeline()
+    costs = np.array([pipe.total_cost(s) for s in ds.specs()])
+    outliers = (costs > 2.5 * np.median(costs)).mean()
+    assert 0.01 < outliers < 0.06
+
+
+def test_resize_changes_resolution():
+    ds = SyntheticCOCO(n_samples=1)
+    sample = ds.load(0)
+    resize = Resize2D(height=16, width=24)
+    state = PipelineState(nbytes=float(sample.spec.raw_nbytes))
+    out = resize.apply(sample, make_ctx(), state)
+    assert out.data.shape[:2] == (16, 24)
+
+
+def test_detection_full_pipeline_produces_chw_float():
+    ds = SyntheticCOCO(n_samples=1)
+    pipe = detection_pipeline()
+    out = pipe.apply_all(ds.load(0), make_ctx())
+    assert out.data.ndim == 3
+    assert out.data.shape[0] == 3  # CHW
+    assert out.data.dtype == np.float32
+
+
+def test_detection_output_in_expected_band():
+    ds = SyntheticCOCO(n_samples=50)
+    pipe = detection_pipeline()
+    sizes = [pipe.output_nbytes(s) / MB for s in ds.specs()]
+    assert 3.9 <= min(sizes) and max(sizes) <= 12.1
+    assert 6.0 < float(np.mean(sizes)) < 8.5
+
+
+# ---------------------------------------------------------------------------
+# Speech pipeline
+# ---------------------------------------------------------------------------
+
+
+def test_speech_light_samples_cost_about_half_second():
+    ds = SyntheticLibriSpeech(n_samples=10)
+    pipe = speech_pipeline(3.0)
+    light = [s for s in ds.specs() if not s.attr("heavy")]
+    for spec in light[:3]:
+        assert 0.5 <= pipe.total_cost(spec) <= 0.52
+
+
+def test_speech_heavy_samples_reach_heavy_total():
+    ds = SyntheticLibriSpeech(n_samples=10)
+    pipe = speech_pipeline(3.0)
+    heavy = [s for s in ds.specs() if s.attr("heavy")]
+    for spec in heavy:
+        assert 3.0 <= pipe.total_cost(spec) <= 3.02
+
+
+def test_speech_10s_variant():
+    ds = SyntheticLibriSpeech(n_samples=10)
+    pipe = speech_pipeline(10.0)
+    heavy_spec = ds.spec(0)
+    assert heavy_spec.attr("heavy")
+    assert 10.0 <= pipe.total_cost(heavy_spec) <= 10.02
+
+
+def test_heavystep_free_on_light_samples():
+    step = HeavyStep(heavy_seconds=3.0)
+    light = SampleSpec(index=1, raw_nbytes=MB, seed=1, modality="audio")
+    assert step.cost(light, PipelineState(nbytes=MB)) == 0.0
+
+
+def test_heavystep_rejects_sub_light_budget():
+    with pytest.raises(ValueError):
+        HeavyStep(heavy_seconds=LIGHT_TOTAL_SECONDS / 2)
+
+
+def test_lightstep_identity_on_payload():
+    ds = SyntheticLibriSpeech(n_samples=1)
+    sample = ds.load(0)
+    payload = sample.data
+    step = LightStep()
+    out = step.apply(sample, make_ctx(), PipelineState(nbytes=float(sample.nbytes)))
+    assert out.data is payload
+
+
+def test_speech_full_pipeline_runs():
+    ds = SyntheticLibriSpeech(n_samples=2)
+    pipe = speech_pipeline(3.0)
+    out = pipe.apply_all(ds.load(1), make_ctx())
+    assert out.data.ndim == 2
+    assert out.applied == pipe.names
