@@ -1,6 +1,24 @@
-"""Setup shim for legacy editable installs (offline environments without
-the ``wheel`` package cannot use PEP 660 editable wheels)."""
+"""Setup for the src-layout package (legacy setup.py on purpose: offline
+environments without the ``wheel`` package cannot build PEP 660 editable
+wheels, while ``pip install -e .`` via setuptools' develop path works
+everywhere).
 
-from setuptools import setup
+After ``pip install -e .`` the tier-1 command no longer needs PYTHONPATH:
+``python -m pytest -x -q``.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-minato",
+    version="0.1.0",
+    description=(
+        "Reproduction of the MinatoLoader sample-aware data loader "
+        "(EuroSys'26): threaded engine, discrete-event simulator and a "
+        "shared substrate-neutral policy layer"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

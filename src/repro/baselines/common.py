@@ -21,6 +21,7 @@ from ..data.dataset import Dataset
 from ..data.samplers import RandomSampler
 from ..data.storage import StorageModel
 from ..errors import LoaderStateError
+from ..policy import LoaderStatsCore, ThreadSubstrate
 from ..transforms.base import Pipeline
 
 __all__ = ["BaseConcurrentLoader", "BaselineStats"]
@@ -72,6 +73,7 @@ class BaseConcurrentLoader:
         self.storage = storage
         self.sampler = sampler if sampler is not None else RandomSampler(len(dataset), seed=seed)
 
+        self.substrate = ThreadSubstrate(self.clock)
         self._batch_queues = [
             WorkQueue(queue_capacity, name=f"batch-{g}") for g in range(num_gpus)
         ]
@@ -79,8 +81,7 @@ class BaseConcurrentLoader:
         self._threads: List[threading.Thread] = []
         self._errors: List[BaseException] = []
         self._errors_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
-        self._stats = BaselineStats()
+        self._stats = LoaderStatsCore(lock=self.substrate.make_lock())
         self._started = False
         self._start_lock = threading.Lock()
         self._shut_down = False
@@ -102,15 +103,8 @@ class BaseConcurrentLoader:
         raise NotImplementedError
 
     def _spawn(self, target, name: str) -> None:
-        def run():
-            try:
-                target()
-            except Exception as exc:
-                self._record_error(exc)
-
-        thread = threading.Thread(target=run, name=name, daemon=True)
+        thread = self.substrate.spawn(target, name=name, on_error=self._record_error)
         self._threads.append(thread)
-        thread.start()
 
     def shutdown(self, timeout: float = 5.0) -> None:
         if self._shut_down:
@@ -141,7 +135,7 @@ class BaseConcurrentLoader:
                 ) from self._errors[0]
 
     def _idle_wait(self) -> None:
-        if getattr(self.clock, "shared_timeline", False):
+        if self.substrate.shared_timeline:
             self.clock.sleep(0.010)
         else:
             time.sleep(_IDLE_WALL_SLEEP)
@@ -149,14 +143,14 @@ class BaseConcurrentLoader:
     # -- stats ------------------------------------------------------------------
 
     def stats(self) -> BaselineStats:
-        with self._stats_lock:
-            return BaselineStats(
-                samples_processed=self._stats.samples_processed,
-                batches_built=self._stats.batches_built,
-                busy_seconds=self._stats.busy_seconds,
-                io_seconds=self._stats.io_seconds,
-                collate_seconds=self._stats.collate_seconds,
-            )
+        counters = self._stats.snapshot()
+        return BaselineStats(
+            samples_processed=counters["samples_preprocessed"],
+            batches_built=counters["batches_built"],
+            busy_seconds=counters["busy_seconds"],
+            io_seconds=counters["io_seconds"],
+            collate_seconds=counters["collate_seconds"],
+        )
 
     # -- consumption --------------------------------------------------------------
 

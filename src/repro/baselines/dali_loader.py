@@ -26,7 +26,7 @@ import numpy as np
 from ..clock import Clock
 from ..core.batching import Batch
 from ..data.dataset import Dataset
-from ..data.samplers import RandomSampler, ShardedSampler
+from ..data.samplers import ShardedSampler
 from ..data.storage import StorageModel
 from ..engine.device import SimulatedGPU
 from ..errors import ConfigurationError
@@ -129,8 +129,7 @@ class DALIStyleLoader(BaseConcurrentLoader):
                 if self.storage is not None:
                     io_seconds = self.storage.read_seconds(sample.spec)
                     self.clock.advance(io_seconds)
-                    with self._stats_lock:
-                        self._stats.io_seconds += io_seconds
+                    self._stats.add(io_seconds=io_seconds)
                 if not self._raw_queues[gpu].put((epoch, sample), stop=self._stop):
                     return
         finally:
@@ -171,19 +170,16 @@ class DALIStyleLoader(BaseConcurrentLoader):
                     gpu_cost += self.pipeline.total_cost(sample.spec) / cfg.gpu_speedup
                     self.pipeline.apply_all(sample, ctx)
                     samples.append(sample)
-                    with self._stats_lock:
-                        self._stats.samples_processed += 1
+                    self._stats.add(samples_preprocessed=1)
                 if self.devices is not None:
                     self.devices[gpu].execute(gpu_cost, tag="preprocess")
                 else:
                     self.clock.advance(gpu_cost)
-                with self._stats_lock:
-                    self._stats.busy_seconds += gpu_cost
+                self._stats.add(busy_seconds=gpu_cost)
                 batch = Batch(
                     samples=samples, gpu_index=gpu, built_at=self.clock.now()
                 )
-                with self._stats_lock:
-                    self._stats.batches_built += 1
+                self._stats.add(batches_built=1)
                 if not self._batch_queues[gpu].put(batch, stop=self._stop):
                     return
         finally:

@@ -8,13 +8,17 @@ mispredictions let slow samples stall the fast path and GPU usage
 fluctuates.
 
 :class:`SizeHeuristicLoader` reuses the MinatoLoader machinery but replaces
-the timeout classification: samples whose raw size exceeds a threshold
-(default: the dataset's P75 size) are routed to the background path *before*
-preprocessing; everything else is processed inline with no timeout.
+the timeout classification with the shared
+:class:`~repro.policy.routing.SizeRouter` (the same predictor the
+discrete-event model's ``classifier='size'`` mode uses): samples whose raw
+size exceeds a threshold (default: the dataset's P75 size) are routed to
+the background path *before* preprocessing; everything else is processed
+inline with no timeout.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
@@ -25,6 +29,7 @@ from ..core.loader import MinatoLoader
 from ..data.dataset import Dataset
 from ..data.samplers import RandomSampler
 from ..data.storage import StorageModel
+from ..policy import SizeRouter
 from ..transforms.base import Pipeline, WorkContext
 
 __all__ = ["SizeHeuristicLoader"]
@@ -54,10 +59,14 @@ class SizeHeuristicLoader(MinatoLoader):
             storage=storage,
             sampler=sampler,
         )
-        if size_threshold_bytes is None:
-            sizes = [dataset.spec(i).raw_nbytes for i in range(len(dataset))]
-            size_threshold_bytes = float(np.percentile(sizes, size_percentile))
-        self.size_threshold_bytes = size_threshold_bytes
+        if size_threshold_bytes is not None:
+            self.size_router = SizeRouter(size_threshold_bytes)
+        else:
+            self.size_router = SizeRouter.from_dataset(dataset, size_percentile)
+
+    @property
+    def size_threshold_bytes(self) -> float:
+        return self.size_router.threshold_bytes
 
     def _process_one(self, epoch: int, seq: int, index: int) -> None:
         sample = self._load_with_retries(index)
@@ -68,23 +77,17 @@ class SizeHeuristicLoader(MinatoLoader):
         if self.storage is not None:
             io_seconds = self.storage.read_seconds(sample.spec)
             ctx.charge(io_seconds)
-            with self._counters.lock:
-                self._counters.io_seconds += io_seconds
+            self._counters.add(io_seconds=io_seconds)
 
-        if sample.spec.raw_nbytes > self.size_threshold_bytes:
+        if self.size_router.is_slow(sample.spec.raw_nbytes):
             # Predicted slow: defer the *entire* pipeline to the background.
-            with self._counters.lock:
-                self._counters.samples_timed_out += 1
+            self._counters.add(samples_timed_out=1)
             self._temp_queue.put((sample, 0, epoch, seq), stop=self._stop)
             return
 
         # Predicted fast: process inline, no timeout -- a misprediction
         # (small-but-slow sample) stalls this worker's fast path.
-        import math
-
         outcome = self.balancer.process(sample, ctx, math.inf)
-        with self._counters.lock:
-            self._counters.busy_seconds += ctx.charged_seconds
-            self._counters.samples_fast += 1
-        self.profiler.record(outcome.elapsed_seconds, flagged_slow=False)
+        self._counters.add(busy_seconds=ctx.charged_seconds, samples_fast=1)
+        self.scaling.record_sample(outcome.elapsed_seconds, flagged_slow=False)
         self._route_ready(outcome.sample, epoch, seq, slow=False)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from ..data.dataset import Dataset
 from ..data.samplers import BatchSampler, RandomSampler
 from ..data.storage import StorageModel
 from ..errors import ConfigurationError
+from ..policy import ReorderBuffer
 from ..transforms.base import Pipeline, WorkContext
 from .common import BaseConcurrentLoader
 
@@ -95,8 +96,9 @@ class TorchStyleLoader(BaseConcurrentLoader):
             sampler=sampler,
             seed=self.config.seed,
         )
-        self._results: Dict[int, Tuple[int, Batch]] = {}
-        self._results_lock = threading.Lock()
+        #: strictly in-order delivery (paper §3.3's head-of-line blocking)
+        #: through the same reorder buffer the strict-order Minato mode uses
+        self._results: ReorderBuffer = ReorderBuffer(lock_factory=threading.Lock)
 
     # -- orchestration -----------------------------------------------------------
 
@@ -131,8 +133,8 @@ class TorchStyleLoader(BaseConcurrentLoader):
         cfg = self.config
         workers = min(cfg.num_workers, max(1, len(batches)))
         semaphores = [threading.Semaphore(cfg.prefetch_factor) for _ in range(workers)]
-        with self._results_lock:
-            self._results.clear()
+        # fresh buffer per round: batch sequence numbers restart at zero
+        self._results = ReorderBuffer(lock_factory=threading.Lock)
         threads = []
         for w in range(workers):
             assigned = [(seq, batches[seq]) for seq in range(w, len(batches), workers)]
@@ -145,11 +147,14 @@ class TorchStyleLoader(BaseConcurrentLoader):
             threads.append(thread)
             thread.start()
 
-        # In-order delivery with single-threaded collation.
-        next_seq = 0
-        while next_seq < len(batches) and not self._stop.is_set():
-            with self._results_lock:
-                entry = self._results.pop(next_seq, None)
+        # In-order delivery with single-threaded collation: the reorder
+        # buffer releases finished batches only in sequence order, so a slow
+        # earlier batch holds back completed later ones (head-of-line
+        # blocking).
+        delivered_count = 0
+        while delivered_count < len(batches) and not self._stop.is_set():
+            seq = self._results.next_sequence
+            entry = self._results.try_next()
             if entry is None:
                 self._idle_wait()
                 continue
@@ -157,19 +162,17 @@ class TorchStyleLoader(BaseConcurrentLoader):
             if cfg.pin_memory_bandwidth is not None:
                 collate = batch.nbytes / cfg.pin_memory_bandwidth
                 self.clock.advance(collate)
-                with self._stats_lock:
-                    self._stats.collate_seconds += collate
-            gpu = next_seq % self.num_gpus
+                self._stats.add(collate_seconds=collate)
+            gpu = seq % self.num_gpus
             batch.gpu_index = gpu
-            batch.sequence = next_seq
+            batch.sequence = seq
             batch.epoch_hint = epoch_hint
-            with self._stats_lock:
-                self._stats.batches_built += 1
+            self._stats.add(batches_built=1)
             delivered = self._batch_queues[gpu].put(batch, stop=self._stop)
             semaphores[producer].release()
             if not delivered:
                 break
-            next_seq += 1
+            delivered_count += 1
         for thread in threads:
             thread.join()
 
@@ -201,15 +204,13 @@ class TorchStyleLoader(BaseConcurrentLoader):
                     if self.storage is not None:
                         io_seconds = self.storage.read_seconds(sample.spec)
                         ctx.charge(io_seconds)
-                        with self._stats_lock:
-                            self._stats.io_seconds += io_seconds
+                        self._stats.add(io_seconds=io_seconds)
                     self.pipeline.apply_all(sample, ctx)
-                    with self._stats_lock:
-                        self._stats.samples_processed += 1
-                        self._stats.busy_seconds += ctx.charged_seconds
+                    self._stats.add(
+                        samples_preprocessed=1, busy_seconds=ctx.charged_seconds
+                    )
                     samples.append(sample)
                 batch = Batch(samples=samples, built_at=self.clock.now())
-                with self._results_lock:
-                    self._results[seq] = (worker_id, batch)
+                self._results.put(seq, (worker_id, batch))
         except Exception as exc:
             self._record_error(exc)

@@ -7,12 +7,19 @@ the current transform boundary and the partially-processed sample is handed
 to the *temp* path together with its resume index, to be finished by a
 background slow-task worker and enqueued on the *slow* path.
 
+The decision rule itself lives in the substrate-neutral
+:class:`~repro.policy.routing.RoutingPolicy`; this class is the *threaded
+executor* that applies real transforms and consults the policy after every
+stage.
+
 Fidelity note: the paper interrupts the transformation mid-flight and
 re-executes it in the background.  Python threads cannot be preempted, so
-this implementation checks the budget *between* transforms; the partially
-applied state is therefore always valid and the resume index points at the
-next transform.  (The discrete-event model in :mod:`repro.sim.loaders`
-implements the paper's preemptive accounting, discarding in-flight work.)
+this substrate runs the policy in cooperative mode -- the budget is checked
+*between* transforms and the partially applied state is therefore always
+valid, with the resume index pointing at the next transform.  (The
+discrete-event model in :mod:`repro.sim.loaders` runs the same policy in
+preemptive mode, discarding in-flight work.)  Which samples get *flagged*
+slow is identical under both modes; see DESIGN.md.
 
 Timing source: ``timing='charged'`` measures a sample's elapsed time as the
 sum of modelled transform costs (deterministic, independent of Python
@@ -26,6 +33,7 @@ from typing import Optional
 
 from ..clock import Clock
 from ..data.sample import Sample
+from ..policy.routing import FINISH_FAST, FINISH_SLOW, HANDOFF, RoutingPolicy
 from ..transforms.base import Pipeline, WorkContext
 
 __all__ = ["BalanceOutcome", "LoadBalancer"]
@@ -49,14 +57,21 @@ class BalanceOutcome:
 
 
 class LoadBalancer:
-    """Algorithm 1's per-sample classification loop."""
+    """Threaded executor of Algorithm 1's per-sample classification loop."""
 
-    def __init__(self, pipeline: Pipeline, clock: Clock, timing: str = "charged") -> None:
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        clock: Clock,
+        timing: str = "charged",
+        routing: Optional[RoutingPolicy] = None,
+    ) -> None:
         if timing not in ("charged", "wall"):
             raise ValueError(f"timing must be 'charged' or 'wall', got {timing!r}")
         self.pipeline = pipeline
         self.clock = clock
         self.timing = timing
+        self.routing = routing if routing is not None else RoutingPolicy()
 
     def _elapsed(self, ctx: WorkContext, start_wall: float, start_charged: float) -> float:
         if self.timing == "charged":
@@ -72,32 +87,38 @@ class LoadBalancer:
         pipeline = self.pipeline
         state = pipeline.initial_state(sample.spec)
         n = len(pipeline)
+        elapsed = 0.0
         for i in range(n):
             sample = pipeline[i].apply(sample, ctx, state)
             elapsed = self._elapsed(ctx, start_wall, start_charged)
-            if elapsed > timeout_seconds and i < n - 1:
+            verdict = self.routing.after_stage(elapsed, i, n, timeout_seconds)
+            if verdict == HANDOFF:
                 return BalanceOutcome(
                     status=TIMEOUT,
                     sample=sample,
                     elapsed_seconds=elapsed,
                     resume_index=i + 1,
                 )
-        elapsed = self._elapsed(ctx, start_wall, start_charged)
-        if elapsed > timeout_seconds:
-            # The final transform pushed the sample over budget: it is
-            # complete but still accounted as slow (it reaches batches via
-            # the slow queue, matching Algorithm 1's routing).
-            return BalanceOutcome(
-                status=TIMEOUT, sample=sample, elapsed_seconds=elapsed, resume_index=n
-            )
+            if verdict == FINISH_SLOW:
+                # The final transform pushed the sample over budget: it is
+                # complete but still accounted as slow (it reaches batches via
+                # the slow queue, matching Algorithm 1's routing).
+                return BalanceOutcome(
+                    status=TIMEOUT,
+                    sample=sample,
+                    elapsed_seconds=elapsed,
+                    resume_index=n,
+                )
+            if verdict == FINISH_FAST:
+                return BalanceOutcome(
+                    status=FAST, sample=sample, elapsed_seconds=elapsed
+                )
+        # empty pipeline: trivially fast
         return BalanceOutcome(status=FAST, sample=sample, elapsed_seconds=elapsed)
 
     def resume(self, sample: Sample, resume_index: int, ctx: WorkContext) -> Sample:
         """Finish a timed-out sample from its recorded transform index."""
-        start_charged = ctx.charged_seconds
         if resume_index < len(self.pipeline):
             sample = self.pipeline.apply_all(sample, ctx, start=resume_index)
         sample.flagged_slow = True
-        sample.preprocess_seconds += 0.0  # bookkeeping done by apply()
-        del start_charged
         return sample

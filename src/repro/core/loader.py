@@ -19,6 +19,12 @@ Architecture (paper Fig. 5), implemented with real threads:
 * a **profiler** learns the fast/slow timeout (P75, fallback P90) during an
   optimistic warm-up and keeps adjusting it online.
 
+This class is the *threaded substrate*: every scheduling decision -- fast/
+slow routing, batch construction order, strict-order release, worker-pool
+scaling -- is delegated to the substrate-neutral components in
+:mod:`repro.policy`, which the discrete-event model in
+:mod:`repro.sim.loaders` drives identically (see DESIGN.md).
+
 Deviation from the paper noted in DESIGN.md: queues are shared MPMC rather
 than per-worker, and `threading` replaces `torch.multiprocessing` (modelled
 compute is charged through the Clock abstraction, so the GIL does not
@@ -30,7 +36,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -39,6 +45,14 @@ from ..data.dataset import Dataset
 from ..data.samplers import RandomSampler
 from ..data.storage import StorageModel
 from ..errors import LoaderStateError
+from ..policy import (
+    BatchConstructionPolicy,
+    LoaderStatsCore,
+    ScalingPolicy,
+    ThreadSubstrate,
+    deal_quota,
+    index_stream,
+)
 from ..transforms.base import Pipeline, WorkContext
 from .balancer import LoadBalancer
 from .batching import Batch
@@ -72,42 +86,6 @@ class LoaderStats:
     def slow_fraction(self) -> float:
         done = self.samples_preprocessed
         return self.samples_timed_out / done if done else 0.0
-
-
-class _Counters:
-    def __init__(self) -> None:
-        self.lock = threading.Lock()
-        self.samples_fed = 0
-        self.samples_fast = 0
-        self.samples_timed_out = 0
-        self.samples_preprocessed = 0
-        self.batches_built = 0
-        self.busy_seconds = 0.0
-        self.io_seconds = 0.0
-        self.load_retries = 0
-
-
-class _OrderedBuffer:
-    """Reorder buffer for the strict-order mode (paper §6)."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._items: Dict[int, object] = {}
-        self._next = 0
-
-    def put(self, seq: int, item: object) -> None:
-        with self._lock:
-            self._items[seq] = item
-
-    def try_next(self) -> Optional[object]:
-        with self._lock:
-            item = self._items.pop(self._next, None)
-            if item is not None:
-                self._next += 1
-            return item
-
-    def __len__(self) -> int:
-        return len(self._items)
 
 
 class _WorkerPool:
@@ -214,6 +192,7 @@ class MinatoLoader:
         )
 
         cfg = self.config
+        self.substrate = ThreadSubstrate(self.clock)
         self.profiler = TimeoutProfiler(
             percentile=cfg.timeout_percentile,
             fallback_percentile=cfg.fallback_percentile,
@@ -222,13 +201,20 @@ class MinatoLoader:
             override=cfg.timeout_override,
         )
         self.balancer = LoadBalancer(pipeline, self.clock, timing=cfg.timing)
-        self.scheduler = WorkerScheduler(
-            alpha=cfg.alpha,
-            beta=cfg.beta,
-            cpu_threshold=cfg.cpu_threshold,
-            delta_clip=cfg.delta_clip,
-            min_workers=cfg.min_workers,
-            max_workers=cfg.max_workers,
+        self.scaling = ScalingPolicy(
+            scheduler=WorkerScheduler(
+                alpha=cfg.alpha,
+                beta=cfg.beta,
+                cpu_threshold=cfg.cpu_threshold,
+                delta_clip=cfg.delta_clip,
+                min_workers=cfg.min_workers,
+                max_workers=cfg.max_workers,
+            ),
+            profiler=self.profiler,
+        )
+        self.scheduler = self.scaling.scheduler
+        self.construction = BatchConstructionPolicy(
+            strict_order=not cfg.reorder, lock_factory=self.substrate.make_lock
         )
 
         self._index_queue = WorkQueue(cfg.queue_capacity, name="index")
@@ -238,16 +224,15 @@ class MinatoLoader:
         self._batch_queues = [
             WorkQueue(cfg.queue_capacity, name=f"batch-{g}") for g in range(cfg.num_gpus)
         ]
-        self._ordered = _OrderedBuffer()
 
-        self._counters = _Counters()
+        self._counters = LoaderStatsCore(lock=self.substrate.make_lock())
         self._stop = threading.Event()
         self._feeding_done = threading.Event()
         self._in_flight = 0
         self._in_flight_lock = threading.Lock()
 
         self._total_expected = epochs * len(dataset)
-        self._remaining_per_gpu = self._deal_quota(
+        self._remaining_per_gpu = deal_quota(
             self._total_expected, cfg.batch_size, cfg.num_gpus
         )
         self._claim_lock = threading.Lock()
@@ -260,7 +245,6 @@ class MinatoLoader:
         self._errors_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
         self._pool = _WorkerPool(self)
-        self._worker_history: List[SchedulerDecision] = []
         self._started = False
         self._start_lock = threading.Lock()
         self._shut_down = False
@@ -268,24 +252,6 @@ class MinatoLoader:
         self._delivered_to_user = 0
 
     # -- lifecycle -----------------------------------------------------------
-
-    @staticmethod
-    def _deal_quota(total: int, batch_size: int, num_gpus: int) -> List[int]:
-        """Deal the sample stream to GPUs in batch-size chunks, round-robin.
-
-        Guarantees every GPU a near-equal share of batches regardless of how
-        fast individual builders run (a single global counter would let one
-        GPU's builder claim the whole stream during a burst).
-        """
-        quota = [0] * num_gpus
-        gpu = 0
-        remaining = total
-        while remaining > 0:
-            take = min(batch_size, remaining)
-            quota[gpu] += take
-            remaining -= take
-            gpu = (gpu + 1) % num_gpus
-        return quota
 
     def start(self) -> None:
         """Start the background machinery (idempotent)."""
@@ -308,22 +274,12 @@ class MinatoLoader:
                 self._spawn(
                     lambda g=gpu: self._builder_loop(g), f"minato-builder-{gpu}-{b}"
                 )
-        if cfg.adaptive_workers and getattr(self.clock, "shared_timeline", False):
+        if cfg.adaptive_workers and self.substrate.shared_timeline:
             self._spawn(self._scheduler_loop, "minato-scheduler")
 
     def _spawn(self, target, name: str) -> None:
-        thread = threading.Thread(target=self._guarded(target), name=name, daemon=True)
+        thread = self.substrate.spawn(target, name=name, on_error=self._record_error)
         self._threads.append(thread)
-        thread.start()
-
-    def _guarded(self, target):
-        def run():
-            try:
-                target()
-            except Exception as exc:
-                self._record_error(exc)
-
-        return run
 
     def shutdown(self, timeout: float = 5.0) -> None:
         """Stop all threads and release resources (idempotent)."""
@@ -359,7 +315,7 @@ class MinatoLoader:
     # -- idle waiting ----------------------------------------------------------
 
     def _idle_wait(self) -> None:
-        if getattr(self.clock, "shared_timeline", False):
+        if self.substrate.shared_timeline:
             self.clock.sleep(self.config.poll_interval)
         else:
             time.sleep(_IDLE_WALL_SLEEP)
@@ -367,22 +323,17 @@ class MinatoLoader:
     # -- feeder ----------------------------------------------------------------
 
     def _feeder_loop(self) -> None:
-        seq = 0
-        for epoch in range(self.epochs):
-            for index in self.sampler.epoch(epoch):
-                if self._stop.is_set():
-                    return
-                if not self._index_queue.put((epoch, seq, index), stop=self._stop):
-                    return
-                with self._counters.lock:
-                    self._counters.samples_fed += 1
-                seq += 1
+        for epoch, seq, index in index_stream(self.sampler, self.epochs):
+            if self._stop.is_set():
+                return
+            if not self._index_queue.put((epoch, seq, index), stop=self._stop):
+                return
+            self._counters.add(samples_fed=1)
         self._feeding_done.set()
 
     # -- loading workers ---------------------------------------------------------
 
     def _worker_loop(self, worker_id: int) -> None:
-        cfg = self.config
         while not self._stop.is_set():
             if self._pool.should_retire():
                 return
@@ -408,8 +359,7 @@ class MinatoLoader:
             try:
                 return self.dataset.load(index)
             except Exception:
-                with self._counters.lock:
-                    self._counters.load_retries += 1
+                self._counters.add(load_retries=1)
                 if attempt == attempts - 1:
                     raise
         raise AssertionError("unreachable")  # pragma: no cover
@@ -423,31 +373,28 @@ class MinatoLoader:
         if self.storage is not None:
             io_seconds = self.storage.read_seconds(sample.spec)
             ctx.charge(io_seconds)
-            with self._counters.lock:
-                self._counters.io_seconds += io_seconds
+            self._counters.add(io_seconds=io_seconds)
         outcome = self.balancer.process(sample, ctx, self.profiler.timeout())
-        with self._counters.lock:
-            self._counters.busy_seconds += ctx.charged_seconds
+        self._counters.add(busy_seconds=ctx.charged_seconds)
         if outcome.timed_out:
-            with self._counters.lock:
-                self._counters.samples_timed_out += 1
+            self._counters.add(samples_timed_out=1)
             self._temp_queue.put(
                 (outcome.sample, outcome.resume_index, epoch, seq), stop=self._stop
             )
         else:
-            self.profiler.record(outcome.elapsed_seconds, flagged_slow=False)
-            with self._counters.lock:
-                self._counters.samples_fast += 1
+            self.scaling.record_sample(outcome.elapsed_seconds, flagged_slow=False)
+            self._counters.add(samples_fast=1)
             self._route_ready(outcome.sample, epoch, seq, slow=False)
 
     def _route_ready(self, sample, epoch: int, seq: int, slow: bool) -> None:
-        with self._counters.lock:
-            self._counters.samples_preprocessed += 1
-        if self.config.reorder:
-            queue = self._slow_queue if slow else self._fast_queue
-            queue.put(sample, stop=self._stop)
-        else:
-            self._ordered.put(seq, sample)
+        self._counters.add(samples_preprocessed=1)
+        self.construction.route_ready(
+            seq,
+            sample,
+            flagged_slow=slow,
+            put_fast=lambda s: self._fast_queue.put(s, stop=self._stop),
+            put_slow=lambda s: self._slow_queue.put(s, stop=self._stop),
+        )
 
     # -- slow-task workers ---------------------------------------------------------
 
@@ -471,9 +418,11 @@ class MinatoLoader:
                 rng=np.random.default_rng((sample.spec.seed + 104_729) & 0x7FFFFFFF),
             )
             sample = self.balancer.resume(sample, resume_index, ctx)
-            with self._counters.lock:
-                self._counters.busy_seconds += ctx.charged_seconds
-            self.profiler.record(sample.preprocess_seconds, flagged_slow=True)
+            self._counters.add(
+                busy_seconds=ctx.charged_seconds,
+                background_busy_seconds=ctx.charged_seconds,
+            )
+            self.scaling.record_sample(sample.preprocess_seconds, flagged_slow=True)
             self._route_ready(sample, epoch, seq, slow=True)
 
     # -- batch builders ----------------------------------------------------------
@@ -495,14 +444,6 @@ class MinatoLoader:
         with self._claim_lock:
             return all(r <= 0 for r in self._remaining_per_gpu)
 
-    def _next_ready_sample(self):
-        if self.config.reorder:
-            sample = self._fast_queue.try_get()
-            if sample is None:
-                sample = self._slow_queue.try_get()
-            return sample
-        return self._ordered.try_next()
-
     def _builder_loop(self, gpu: int) -> None:
         try:
             while not self._stop.is_set():
@@ -511,7 +452,9 @@ class MinatoLoader:
                     return
                 samples = []
                 while len(samples) < take and not self._stop.is_set():
-                    sample = self._next_ready_sample()
+                    sample = self.construction.next_ready(
+                        self._fast_queue.try_get, self._slow_queue.try_get
+                    )
                     if sample is None:
                         self._idle_wait()
                         continue
@@ -527,8 +470,7 @@ class MinatoLoader:
                     built_at=self.clock.now(),
                     sequence=seq,
                 )
-                with self._counters.lock:
-                    self._counters.batches_built += 1
+                self._counters.add(batches_built=1)
                 if not self._batch_queues[gpu].put(batch, stop=self._stop):
                     return
         finally:
@@ -544,30 +486,26 @@ class MinatoLoader:
 
     def _scheduler_loop(self) -> None:
         cfg = self.config
-        prev_busy = 0.0
-        prev_time = self.clock.now()
+        self.scaling.reset(self.clock.now())
         while not self._stop.is_set():
             self.clock.sleep(cfg.scheduler_interval)
             if self._stop.is_set():
                 return
             if self._stream_finished():
                 return
-            now = self.clock.now()
-            interval = now - prev_time
-            if interval <= 0:
-                continue
-            with self._counters.lock:
-                busy = self._counters.busy_seconds
-            workers = max(1, self._pool.active_count)
-            cpu_usage = min(1.0, (busy - prev_busy) / (workers * interval))
             queue_fill = sum(q.fill_fraction() for q in self._batch_queues) / len(
                 self._batch_queues
             )
-            decision = self.scheduler.decide(self._pool.active_count, queue_fill, cpu_usage)
-            self._worker_history.append(decision)
-            if decision.new_workers != decision.previous_workers:
-                self._pool.resize(decision.new_workers)
-            prev_busy, prev_time = busy, now
+            action = self.scaling.observe(
+                now=self.clock.now(),
+                busy_seconds=self._counters.snapshot()["busy_seconds"],
+                queue_fill=queue_fill,
+                workers=self._pool.active_count,
+            )
+            if action is None:
+                continue
+            if action.total_workers != action.decision.previous_workers:
+                self._pool.resize(action.total_workers)
 
     # -- consumption API ----------------------------------------------------------
 
@@ -617,19 +555,18 @@ class MinatoLoader:
     # -- stats ----------------------------------------------------------------------
 
     def stats(self) -> LoaderStats:
-        with self._counters.lock:
-            counters = self._counters
-            stats = LoaderStats(
-                samples_fed=counters.samples_fed,
-                samples_fast=counters.samples_fast,
-                samples_timed_out=counters.samples_timed_out,
-                samples_preprocessed=counters.samples_preprocessed,
-                batches_built=counters.batches_built,
-                busy_seconds=counters.busy_seconds,
-                io_seconds=counters.io_seconds,
-                load_retries=counters.load_retries,
-            )
+        counters = self._counters.snapshot()
+        stats = LoaderStats(
+            samples_fed=counters["samples_fed"],
+            samples_fast=counters["samples_fast"],
+            samples_timed_out=counters["samples_timed_out"],
+            samples_preprocessed=counters["samples_preprocessed"],
+            batches_built=counters["batches_built"],
+            busy_seconds=counters["busy_seconds"],
+            io_seconds=counters["io_seconds"],
+            load_retries=counters["load_retries"],
+        )
         stats.profiler = self.profiler.snapshot()
-        stats.worker_history = list(self._worker_history)
+        stats.worker_history = list(self.scaling.history)
         stats.current_workers = self._pool.active_count
         return stats

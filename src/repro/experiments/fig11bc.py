@@ -8,6 +8,13 @@ Paper claim: MinatoLoader's reordering preserves the natural slow-sample mix
 (no systematic bias; avg slow proportion 0.17 vs 0.15 and 0.24 vs 0.23) and
 incorporates slow samples as soon as they are ready rather than deferring
 them to the end.
+
+Batch composition is a *timing* metric -- which samples are ready when a
+builder assembles a batch depends on how long each path took.  It is
+therefore measured on the discrete-event substrate (virtual time, the same
+Algorithm 1 policy as the threaded engine; see DESIGN.md): under the
+threaded engine's deterministic per-thread clock, wall-clock thread racing,
+not modelled cost, would decide composition.
 """
 
 from __future__ import annotations
@@ -17,9 +24,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..analysis import render_table
-from ..clock import ThreadLocalClock
-from ..core import MinatoConfig, MinatoLoader
 from ..data import BatchSampler, RandomSampler, SyntheticCOCO, SyntheticKiTS19
+from ..engine.models import MODELS
+from ..sim.runner import run_simulation
+from ..sim.workloads import CONFIG_A, WorkloadSpec
 from ..transforms import detection_pipeline, segmentation_pipeline
 from .common import ExperimentReport, default_scale
 
@@ -42,25 +50,30 @@ def _torch_batches(dataset, epochs: int, seed: int) -> List[List[int]]:
     return batches
 
 
-def _minato_batches(dataset, pipeline, epochs: int, seed: int):
-    cfg = MinatoConfig(
+def _minato_slow_counts(dataset, pipeline, model, epochs: int, seed: int) -> List[int]:
+    """Per-batch slow counts from a virtual-time MinatoLoader run."""
+    workload = WorkloadSpec(
+        name="fig11bc",
+        dataset=dataset,
+        pipeline=pipeline,
+        model=model,
         batch_size=BATCH_SIZE,
-        num_workers=6,
-        warmup_samples=24,
-        adaptive_workers=False,
-        seed=seed,
+        epochs=epochs,
     )
-    loader = MinatoLoader(
-        dataset, pipeline, cfg, epochs=epochs, clock=ThreadLocalClock()
+    result = run_simulation(
+        "minato",
+        workload,
+        CONFIG_A,
+        num_gpus=1,
+        keep_batch_log=True,
+        loader_kwargs={
+            "warmup_samples": 24,
+            "slow_workers": 6,
+            "adaptive_workers": False,
+            "seed": seed,
+        },
     )
-    batches = []
-    slow_counts = []
-    with loader:
-        for _epoch in range(epochs):
-            for batch in loader:
-                batches.append(batch.indices)
-                slow_counts.append(batch.slow_count)
-    return batches, slow_counts
+    return [slow for _t, _gpu, _size, _nbytes, slow in result.batch_log]
 
 
 def _distribution(slow_counts: List[int]) -> np.ndarray:
@@ -79,23 +92,23 @@ def run(scale: Optional[float] = None, seed: int = 5) -> ExperimentReport:
         "object_detection": (
             SyntheticCOCO(n_samples=1500, payload_side=8),
             detection_pipeline(),
+            MODELS["maskrcnn"],
             max(1, round(2 * scale * 10)),
         ),
         "image_segmentation": (
             SyntheticKiTS19(n_samples=210, payload_voxels=64),
             segmentation_pipeline(),
+            MODELS["unet3d"],
             max(2, round(4 * scale * 10)),
         ),
     }
     sections = []
     data: Dict[str, Dict[str, object]] = {}
-    for task, (dataset, pipeline, epochs) in tasks.items():
+    for task, (dataset, pipeline, model, epochs) in tasks.items():
         slow_flags = _ground_truth_slow(dataset, pipeline)
         torch_batches = _torch_batches(dataset, epochs, seed)
         torch_counts = [int(slow_flags[idx].sum()) for idx in torch_batches]
-        minato_batches, minato_counts = _minato_batches(
-            dataset, pipeline, epochs, seed
-        )
+        minato_counts = _minato_slow_counts(dataset, pipeline, model, epochs, seed)
         torch_dist = _distribution(torch_counts)
         minato_dist = _distribution(minato_counts)
         torch_prop = np.array(torch_counts) / BATCH_SIZE

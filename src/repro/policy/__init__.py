@@ -1,0 +1,71 @@
+"""Substrate-neutral loader policies (Algorithm 1, Formulas 1-2, §4).
+
+This package is the single home of the paper's *decision logic*, shared by
+every execution substrate -- the threaded engine (:mod:`repro.core.loader`),
+the discrete-event models (:mod:`repro.sim.loaders`) and the baselines
+(:mod:`repro.baselines`):
+
+* :class:`RoutingPolicy` -- the per-sample fast/slow/handoff decision,
+  covering both cooperative (transform-boundary) and preemptive
+  (mid-transform, paper-faithful) timeout accounting;
+* :class:`BatchConstructionPolicy` -- Algorithm 1's fast-preferring,
+  slow-draining construction loop plus the strict-order
+  :class:`ReorderBuffer` (paper §6);
+* :class:`ScalingPolicy` -- the Formula 1-2 worker control loop wrapping
+  :class:`~repro.core.scheduler.WorkerScheduler` and
+  :class:`~repro.core.profiler.TimeoutProfiler`;
+* :class:`LoaderStatsCore` -- the counters every loader reports;
+* :class:`Substrate` -- the thin protocol (clock, lock, spawn) policies are
+  driven through, with :class:`ThreadSubstrate` / :class:`SimSubstrate`
+  implementations.
+
+Everything here is deterministic and free of I/O, threads and virtual-time
+machinery, which is what makes "one policy change, both substrates agree"
+an invariant (see tests/test_cross_substrate.py) rather than a convention.
+"""
+
+from .construction import (
+    FAST_KEY,
+    SLOW_KEY,
+    BatchConstructionPolicy,
+    ReorderBuffer,
+    deal_batch_plan,
+    deal_quota,
+    index_stream,
+)
+from .routing import (
+    CONTINUE,
+    FINISH_FAST,
+    FINISH_SLOW,
+    HANDOFF,
+    RoutingDecision,
+    RoutingPolicy,
+    SizeRouter,
+)
+from .scaling import ScalingAction, ScalingPolicy
+from .stats import LoaderStatsCore, NullLock
+from .substrate import SimSubstrate, Substrate, ThreadSubstrate
+
+__all__ = [
+    "BatchConstructionPolicy",
+    "ReorderBuffer",
+    "deal_batch_plan",
+    "deal_quota",
+    "index_stream",
+    "FAST_KEY",
+    "SLOW_KEY",
+    "RoutingPolicy",
+    "RoutingDecision",
+    "SizeRouter",
+    "CONTINUE",
+    "FINISH_FAST",
+    "FINISH_SLOW",
+    "HANDOFF",
+    "ScalingPolicy",
+    "ScalingAction",
+    "LoaderStatsCore",
+    "NullLock",
+    "Substrate",
+    "ThreadSubstrate",
+    "SimSubstrate",
+]

@@ -1,0 +1,71 @@
+"""Shared loader counters (`LoaderStatsCore`).
+
+Every loader -- the threaded engine, the discrete-event models and the
+baselines -- tracks the same family of counters.  :class:`LoaderStatsCore`
+holds them behind a pluggable lock so one implementation serves both
+substrates: the threaded engine passes a real :class:`threading.Lock`, the
+simulator (single-threaded by construction) passes nothing and gets the
+no-op :class:`NullLock`.
+"""
+
+from __future__ import annotations
+
+from typing import ContextManager, Dict, Optional
+
+__all__ = ["LoaderStatsCore", "NullLock"]
+
+
+class NullLock:
+    """Context-manager lock that does nothing (single-threaded substrates)."""
+
+    def __enter__(self) -> "NullLock":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class LoaderStatsCore:
+    """Counter block shared by all loader implementations.
+
+    Fields cover the union of what the loaders report; each loader uses the
+    subset it needs.  All mutation goes through :meth:`add`, which takes the
+    lock once per call regardless of how many fields change.
+    """
+
+    FIELDS = (
+        "samples_fed",
+        "samples_fast",
+        "samples_timed_out",
+        "samples_preprocessed",
+        "batches_built",
+        "busy_seconds",
+        "background_busy_seconds",
+        "io_seconds",
+        "collate_seconds",
+        "load_retries",
+    )
+
+    def __init__(self, lock: Optional[ContextManager] = None) -> None:
+        self.lock = lock if lock is not None else NullLock()
+        for name in self.FIELDS:
+            setattr(self, name, 0 if not name.endswith("_seconds") else 0.0)
+
+    def add(self, **deltas: float) -> None:
+        """Atomically add the given deltas to their counters."""
+        unknown = set(deltas) - set(self.FIELDS)
+        if unknown:
+            raise ValueError(f"unknown counter(s): {sorted(unknown)}")
+        with self.lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Consistent point-in-time copy of every counter."""
+        with self.lock:
+            return {name: getattr(self, name) for name in self.FIELDS}
+
+    @property
+    def slow_fraction(self) -> float:
+        done = self.samples_preprocessed
+        return self.samples_timed_out / done if done else 0.0

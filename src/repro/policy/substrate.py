@@ -1,0 +1,106 @@
+"""The thin `Substrate` protocol the policy layer is driven through.
+
+A *substrate* is an execution environment for loader machinery: real
+threads over wall/virtual clocks (:class:`ThreadSubstrate`) or discrete-
+event processes in simulated time (:class:`SimSubstrate`).  The policy
+components in :mod:`repro.policy` are side-effect-free and substrate-
+neutral; the substrate supplies the primitives they are parameterized by:
+
+* ``now()`` -- the substrate's notion of current (virtual) time;
+* ``make_lock()`` -- a context-manager lock for shared state
+  (:class:`threading.Lock` under threads, a no-op under the single-threaded
+  event kernel);
+* ``spawn(...)`` -- start a concurrent activity (a daemon thread / an
+  environment process).
+
+Queue mechanics intentionally stay substrate-specific (blocking thread
+queues vs. event-yielding stores): the policies only *select* among queues
+(via callbacks or retrieval keys), they never block on them.  See DESIGN.md
+for the full layering contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, ContextManager, Protocol, runtime_checkable
+
+from ..clock import Clock
+from .stats import NullLock
+
+__all__ = ["Substrate", "ThreadSubstrate", "SimSubstrate"]
+
+
+@runtime_checkable
+class Substrate(Protocol):
+    """What a policy component may ask of its execution environment."""
+
+    def now(self) -> float:
+        """Current time in (virtual) seconds."""
+        ...
+
+    def make_lock(self) -> ContextManager:
+        """A lock suitable for state shared across this substrate's workers."""
+        ...
+
+    def spawn(self, target: Any, name: str = "") -> Any:
+        """Start a concurrent activity; returns a substrate-specific handle."""
+        ...
+
+
+class ThreadSubstrate:
+    """Real threads over a :class:`~repro.clock.Clock` timeline."""
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+
+    @property
+    def shared_timeline(self) -> bool:
+        """Whether all workers observe one coherent timeline."""
+        return getattr(self.clock, "shared_timeline", False)
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    def make_lock(self) -> ContextManager:
+        return threading.Lock()
+
+    def spawn(
+        self,
+        target: Callable[[], None],
+        name: str = "",
+        on_error: Callable[[BaseException], None] = None,
+    ) -> threading.Thread:
+        """Start a guarded daemon thread running ``target``."""
+
+        def run() -> None:
+            try:
+                target()
+            except Exception as exc:
+                if on_error is not None:
+                    on_error(exc)
+                else:
+                    raise
+
+        thread = threading.Thread(target=run, name=name or "substrate-worker", daemon=True)
+        thread.start()
+        return thread
+
+
+class SimSubstrate:
+    """Discrete-event processes in a simulation environment's virtual time."""
+
+    def __init__(self, env) -> None:
+        self.env = env
+
+    #: the event kernel is single-threaded; a single coherent timeline
+    shared_timeline = True
+
+    def now(self) -> float:
+        return self.env.now
+
+    def make_lock(self) -> ContextManager:
+        return NullLock()
+
+    def spawn(self, target: Any, name: str = "") -> Any:
+        """Register a generator as an environment process."""
+        return self.env.process(target)

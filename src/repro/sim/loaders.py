@@ -22,12 +22,18 @@ sample-by-sample.
   slow-task worker.  Fast/slow routing uses a priority store (fast first),
   per-GPU batch queues, warm-up profiling with P75/P90 thresholds, and the
   Formula 1-2 worker scheduler resizing the loading-worker pool.
+
+The Minato model is the *discrete-event substrate* of the paper's loader:
+every scheduling decision -- fast/slow routing (preemptive accounting),
+batch construction order, strict-order release, worker-pool scaling -- is
+delegated to the same substrate-neutral components in :mod:`repro.policy`
+that drive the threaded engine in :mod:`repro.core.loader` (see DESIGN.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Iterator, List, Optional, Tuple
+from typing import Generator, Iterator, List, Optional
 
 from ..core.profiler import TimeoutProfiler
 from ..core.scheduler import SchedulerDecision, WorkerScheduler
@@ -36,6 +42,16 @@ from ..data.samplers import BatchSampler, RandomSampler, ShardedSampler
 from ..data.storage import DRAM_BANDWIDTH, PageCache
 from ..engine.metrics import IntervalRecorder, ThroughputMeter
 from ..errors import ConfigurationError
+from ..policy import (
+    BatchConstructionPolicy,
+    LoaderStatsCore,
+    RoutingPolicy,
+    ScalingPolicy,
+    SimSubstrate,
+    SizeRouter,
+    deal_batch_plan,
+    index_stream,
+)
 from .kernel import AllOf, Environment
 from .resources import BandwidthPipe, Resource
 from .stores import PriorityStore, Store
@@ -54,9 +70,6 @@ __all__ = [
 #: end-of-stream sentinel on batch stores
 END = object()
 
-_FAST_KEY = 0
-_SLOW_KEY = 1
-
 
 @dataclass
 class SimBatch:
@@ -67,6 +80,9 @@ class SimBatch:
     built_at: float
     slow_count: int = 0
     gpu: int = 0
+    #: per-sample slow flags (populated by the Minato model; aligns with
+    #: ``specs``), used by the cross-substrate agreement tests
+    slow_flags: List[bool] = field(default_factory=list)
 
     @property
     def size(self) -> int:
@@ -104,11 +120,44 @@ class SimContext:
         self.gpu_recorders = [IntervalRecorder(f"gpu{g}") for g in range(num_gpus)]
         self.cpu_recorder = IntervalRecorder("cpu")
         self.meter = ThroughputMeter()
-        self.cpu_busy_seconds = 0.0
+        #: shared counter block (same class the threaded engine uses; the
+        #: event kernel is single-threaded, so no lock)
+        self.stats = LoaderStatsCore()
         self.cpu_busy_by_tag: dict = {}
-        self.samples_preprocessed = 0
-        self.samples_slow = 0
-        self.batches_built = 0
+
+    # -- counters (attribute compatibility over the shared stats core) -------------
+
+    @property
+    def cpu_busy_seconds(self) -> float:
+        return self.stats.busy_seconds
+
+    @cpu_busy_seconds.setter
+    def cpu_busy_seconds(self, value: float) -> None:
+        self.stats.busy_seconds = value
+
+    @property
+    def samples_preprocessed(self) -> int:
+        return self.stats.samples_preprocessed
+
+    @samples_preprocessed.setter
+    def samples_preprocessed(self, value: int) -> None:
+        self.stats.samples_preprocessed = value
+
+    @property
+    def samples_slow(self) -> int:
+        return self.stats.samples_timed_out
+
+    @samples_slow.setter
+    def samples_slow(self, value: int) -> None:
+        self.stats.samples_timed_out = value
+
+    @property
+    def batches_built(self) -> int:
+        return self.stats.batches_built
+
+    @batches_built.setter
+    def batches_built(self, value: int) -> None:
+        self.stats.batches_built = value
 
     # -- storage -----------------------------------------------------------------
 
@@ -152,29 +201,8 @@ class SimContext:
             self.gpu_recorders[gpu].record(start, self.env.now, "preprocess")
 
 
-def _index_stream(dataset, seed: int) -> Iterator[Tuple[int, int]]:
-    """Infinite (epoch, index) stream cycling shuffled epochs."""
-    sampler = RandomSampler(len(dataset), seed=seed)
-    epoch = 0
-    while True:
-        for index in sampler.epoch(epoch):
-            yield epoch, index
-        epoch += 1
-
-
-def _deal_batch_plan(
-    total_samples: int, batch_size: int, num_gpus: int
-) -> List[List[int]]:
-    """Per-GPU list of batch sizes, dealing batch-size chunks round-robin."""
-    plan: List[List[int]] = [[] for _ in range(num_gpus)]
-    gpu = 0
-    remaining = total_samples
-    while remaining > 0:
-        take = min(batch_size, remaining)
-        plan[gpu].append(take)
-        remaining -= take
-        gpu = (gpu + 1) % num_gpus
-    return plan
+#: shared with the threaded engine (kept under the old name for importers)
+_deal_batch_plan = deal_batch_plan
 
 
 class BaseSimLoader:
@@ -472,6 +500,7 @@ class SimMinatoLoader(BaseSimLoader):
         preempt_grace_rel: float = 0.2,
         classifier: str = "timeout",
         size_percentile: float = 75.0,
+        reorder: bool = True,
         seed: int = 0,
     ) -> None:
         super().__init__()
@@ -488,6 +517,8 @@ class SimMinatoLoader(BaseSimLoader):
         #: heuristic (predict slow from raw bytes) -- used for Fig. 3a
         self.classifier = classifier
         self.size_percentile = size_percentile
+        #: False restores strict sample order (curriculum mode, paper §6)
+        self.reorder = reorder
         self.queue_capacity = queue_capacity
         self.poll_interval = poll_interval
         self.timeout_percentile = timeout_percentile
@@ -509,14 +540,22 @@ class SimMinatoLoader(BaseSimLoader):
         self.ctx = ctx
         env = ctx.env
         workload = ctx.workload
+        self.substrate = SimSubstrate(env)
         self.pipeline = workload.pipeline
         cap = self.queue_capacity
         self.batch_stores = [Store(env, capacity=cap) for _ in range(ctx.num_gpus)]
         self._index_store = Store(env, capacity=cap)
         self._temp_store = Store(env, capacity=cap)
         # fast-before-slow retrieval (Algorithm 1's preference) without
-        # polling: one priority store, fast samples at key 0, slow at key 1
+        # polling: one priority store keyed by the construction policy's
+        # priority (fast samples before slow ones)
         self._ready_store = PriorityStore(env, capacity=2 * cap)
+        self.routing = RoutingPolicy(
+            preemptive=True,
+            grace_abs=self.preempt_grace_abs,
+            grace_rel=self.preempt_grace_rel,
+        )
+        self.construction = BatchConstructionPolicy(strict_order=not self.reorder)
         self.profiler = TimeoutProfiler(
             percentile=self.timeout_percentile,
             fallback_percentile=self.fallback_percentile,
@@ -541,24 +580,32 @@ class SimMinatoLoader(BaseSimLoader):
             if self.max_workers is not None
             else hardware_cap
         )
-        self.scheduler = WorkerScheduler(
-            alpha=self.alpha,
-            beta=self.beta,
-            cpu_threshold=self.cpu_threshold,
-            delta_clip=self.delta_clip,
-            min_workers=self.min_workers,
-            max_workers=self.max_workers_effective,
+        self.scaling = ScalingPolicy(
+            scheduler=WorkerScheduler(
+                alpha=self.alpha,
+                beta=self.beta,
+                cpu_threshold=self.cpu_threshold,
+                delta_clip=self.delta_clip,
+                min_workers=self.min_workers,
+                max_workers=self.max_workers_effective,
+            ),
+            profiler=self.profiler,
+            split_background=True,
+            min_background=2,
         )
+        self.scheduler = self.scaling.scheduler
+        self.worker_history = self.scaling.history
 
         if self.classifier == "size":
-            import numpy as np
-
-            sizes = [workload.dataset.spec(i).raw_nbytes for i in range(len(workload.dataset))]
-            self.size_threshold_bytes = float(np.percentile(sizes, self.size_percentile))
+            self.size_router = SizeRouter.from_dataset(
+                workload.dataset, self.size_percentile
+            )
+            self.size_threshold_bytes = self.size_router.threshold_bytes
         else:
+            self.size_router = None
             self.size_threshold_bytes = None
 
-        plan = _deal_batch_plan(
+        plan = deal_batch_plan(
             self._total_samples(), workload.batch_size, ctx.num_gpus
         )
         self._feeding_done = False
@@ -570,12 +617,12 @@ class SimMinatoLoader(BaseSimLoader):
         self._slow_target = self.slow_workers_effective
         self._builders_done = 0
 
-        env.process(self._feeder())
+        self.substrate.spawn(self._feeder())
         self._fill_pools()
         for gpu in range(ctx.num_gpus):
-            env.process(self._builder(gpu, plan[gpu]))
+            self.substrate.spawn(self._builder(gpu, plan[gpu]))
         if self.adaptive_workers:
-            env.process(self._scheduler_proc())
+            self.substrate.spawn(self._scheduler_proc())
 
     # -- sizing ------------------------------------------------------------------
 
@@ -594,25 +641,41 @@ class SimMinatoLoader(BaseSimLoader):
         pool's target at the top of its loop and exits when the pool is
         over target (a blocked worker simply retires at its next loop).
         """
-        env = self.ctx.env
         stream_active = not (
             self._feeding_done and len(self._index_store) == 0
         )
         while stream_active and self._active_workers < self._loading_target:
             self._active_workers += 1
-            env.process(self._loading_worker())
+            self.substrate.spawn(self._loading_worker())
         while self._active_slow < self._slow_target:
             self._active_slow += 1
-            env.process(self._slow_worker())
+            self.substrate.spawn(self._slow_worker())
 
     # -- processes --------------------------------------------------------------------
 
     def _feeder(self) -> Generator:
-        stream = _index_stream(self.ctx.workload.dataset, self.seed)
+        sampler = RandomSampler(len(self.ctx.workload.dataset), seed=self.seed)
+        stream = index_stream(sampler)
         for _ in range(self._total_fed):
-            epoch, index = next(stream)
-            yield self._index_store.put((epoch, index))
+            epoch, seq, index = next(stream)
+            yield self._index_store.put((epoch, seq, index))
         self._feeding_done = True
+
+    def _emit_ready(self, seq: int, spec: SampleSpec, flagged_slow: bool):
+        """Route one preprocessed sample through the construction policy.
+
+        Returns a store event to yield on, or None when the strict-order
+        buffer absorbed the sample.
+        """
+        item = (spec, flagged_slow)
+        key = self.construction.priority_key
+        return self.construction.route_ready(
+            seq,
+            item,
+            flagged_slow,
+            put_fast=lambda it: self._ready_store.put((key(False), it)),
+            put_slow=lambda it: self._ready_store.put((key(True), it)),
+        )
 
     def _loading_worker(self) -> Generator:
         ctx = self.ctx
@@ -627,73 +690,45 @@ class SimMinatoLoader(BaseSimLoader):
                         return
                     yield env.timeout(self.poll_interval)
                     continue
-                _epoch, index = item
+                _epoch, seq, index = item
                 spec = ctx.workload.dataset.spec(index)
                 yield from ctx.read_sample(spec)
                 profile = self.cost_profile(spec)
-                if self.classifier == "size":
+                if self.size_router is not None:
                     # §3.2 heuristic: predict from raw size, no measurement.
                     # Predicted-slow samples defer the whole pipeline to the
                     # background; predicted-fast run inline with no timeout,
                     # so a misprediction stalls this worker's fast path.
-                    if spec.raw_nbytes > self.size_threshold_bytes:
+                    if self.size_router.is_slow(spec.raw_nbytes):
                         ctx.samples_slow += 1
-                        yield self._temp_store.put((spec, 0, profile))
+                        yield self._temp_store.put((spec, 0, profile, seq))
                     else:
                         for cost in profile:
                             yield from ctx.cpu_busy(cost)
                         self.profiler.record(sum(profile), flagged_slow=False)
                         ctx.samples_preprocessed += 1
-                        yield self._ready_store.put((_FAST_KEY, (spec, False)))
+                        event = self._emit_ready(seq, spec, False)
+                        if event is not None:
+                            yield event
                     continue
-                budget = self.profiler.timeout()
-                elapsed = 0.0
-                handoff_at: Optional[int] = None
-                flagged = False
-                for i, cost in enumerate(profile):
-                    overshoot = elapsed + cost - budget
-                    if overshoot <= 0:
-                        yield from ctx.cpu_busy(cost)
-                        elapsed += cost
-                        continue
-                    grace = max(
-                        self.preempt_grace_abs, self.preempt_grace_rel * cost
+                decision = self.routing.plan(profile, self.profiler.timeout())
+                for chunk in decision.inline_chunks:
+                    yield from ctx.cpu_busy(chunk)
+                if decision.handoff_index is not None:
+                    ctx.samples_slow += 1
+                    yield self._temp_store.put(
+                        (spec, decision.handoff_index, profile, seq)
                     )
-                    if overshoot <= grace:
-                        # Within the monitoring granularity: finishing the
-                        # in-flight transform is cheaper than re-executing it
-                        # in the background.  The sample is still flagged
-                        # slow; remaining transforms (if any) run off the
-                        # critical path.
-                        yield from ctx.cpu_busy(cost)
-                        elapsed += cost
-                        flagged = True
-                        if i + 1 < len(profile):
-                            handoff_at = i + 1
-                        break
-                    # The timeout fires mid-transform: consume the remaining
-                    # budget, discard the partial work, and hand the sample
-                    # over at transform i -- it re-executes fully in the
-                    # background (the paper's preemptive accounting).
-                    slack = max(0.0, budget - elapsed)
-                    if slack > 0:
-                        yield from ctx.cpu_busy(slack)
-                    flagged = True
-                    handoff_at = i
-                    break
-                if not flagged:
-                    self.profiler.record(sum(profile), flagged_slow=False)
-                    ctx.samples_preprocessed += 1
-                    yield self._ready_store.put((_FAST_KEY, (spec, False)))
-                elif handoff_at is None:
-                    # flagged but complete (grace on the final transform)
-                    self.profiler.record(sum(profile), flagged_slow=True)
-                    ctx.samples_slow += 1
-                    ctx.samples_preprocessed += 1
-                    yield self._ready_store.put((_SLOW_KEY, (spec, True)))
                 else:
-                    ctx.samples_slow += 1
-                    yield self._temp_store.put((spec, handoff_at, profile))
+                    self.profiler.record(
+                        decision.total_seconds, flagged_slow=decision.flagged_slow
+                    )
+                    if decision.flagged_slow:
+                        ctx.samples_slow += 1
+                    ctx.samples_preprocessed += 1
+                    event = self._emit_ready(seq, spec, decision.flagged_slow)
+                    if event is not None:
+                        yield event
         finally:
             self._active_workers -= 1
 
@@ -715,36 +750,50 @@ class SimMinatoLoader(BaseSimLoader):
                         return
                     yield env.timeout(self.poll_interval)
                     continue
-                spec, resume_at, profile = item
+                spec, resume_at, profile, seq = item
                 for cost in profile[resume_at:]:
                     yield from ctx.cpu_busy(cost, tag="slow")
                 self.profiler.record(sum(profile), flagged_slow=True)
                 ctx.samples_preprocessed += 1
-                yield self._ready_store.put((_SLOW_KEY, (spec, True)))
+                event = self._emit_ready(seq, spec, True)
+                if event is not None:
+                    yield event
         finally:
             self._active_slow -= 1
 
+    def _next_ready(self) -> Generator:
+        """Fetch the next ready sample per the construction policy."""
+        if self.construction.strict_order:
+            env = self.ctx.env
+            while True:
+                got = self.construction.next_ready(lambda: None, lambda: None)
+                if got is not None:
+                    return got
+                yield env.timeout(self.poll_interval)
+        else:
+            _key, item = yield self._ready_store.get()
+            return item
+
     def _builder(self, gpu: int, batch_sizes: List[int]) -> Generator:
         ctx = self.ctx
-        pipeline = self.pipeline
         for take in batch_sizes:
             specs: List[SampleSpec] = []
-            slow_count = 0
+            slow_flags: List[bool] = []
             nbytes = 0
             for _ in range(take):
-                _key, (spec, was_slow) = yield self._ready_store.get()
+                spec, was_slow = yield from self._next_ready()
                 specs.append(spec)
+                slow_flags.append(bool(was_slow))
                 nbytes += self.output_nbytes(spec)
-                if was_slow:
-                    slow_count += 1
             ctx.batches_built += 1
             yield self.batch_stores[gpu].put(
                 SimBatch(
                     specs=specs,
                     nbytes=nbytes,
                     built_at=ctx.env.now,
-                    slow_count=slow_count,
+                    slow_count=sum(slow_flags),
                     gpu=gpu,
+                    slow_flags=slow_flags,
                 )
             )
         self._builders_done += 1
@@ -753,42 +802,29 @@ class SimMinatoLoader(BaseSimLoader):
     def _scheduler_proc(self) -> Generator:
         """Formulas 1-2 over the *total* preprocessing pool.
 
-        The total worker count follows the paper's control law; the split
-        between loading workers and slow-task workers tracks each path's
-        observed share of CPU work over the last interval, so heavy slow
-        paths (e.g. Speech-10s) get a proportionally larger background pool.
+        The control law and the loading/background split live in
+        :class:`~repro.policy.scaling.ScalingPolicy`; this process only
+        samples the substrate's counters every interval and applies the
+        returned pool targets.
         """
         ctx = self.ctx
         env = ctx.env
-        prev_busy = 0.0
-        prev_slow_busy = 0.0
-        prev_time = env.now
+        self.scaling.reset(env.now)
         while self._builders_done < ctx.num_gpus:
             yield env.timeout(self.scheduler_interval)
-            now = env.now
-            interval = now - prev_time
-            if interval <= 0:
-                continue
-            total = max(1, self._loading_target + self._slow_target)
-            busy = ctx.cpu_busy_seconds
-            slow_busy = ctx.cpu_busy_by_tag.get("slow", 0.0)
-            cpu_usage = min(1.0, (busy - prev_busy) / (total * interval))
             queue_fill = sum(
                 len(store) / store.capacity for store in self.batch_stores
             ) / len(self.batch_stores)
-            decision = self.scheduler.decide(total, queue_fill, cpu_usage)
-            self.worker_history.append(decision)
-            new_total = decision.new_workers
-            delta_busy = busy - prev_busy
-            delta_slow = slow_busy - prev_slow_busy
-            slow_share = delta_slow / delta_busy if delta_busy > 0 else 0.25
-            slow_share = min(0.9, max(0.1, slow_share))
-            if self._feeding_done and len(self._index_store) == 0:
-                # only background work remains: give it the whole budget
-                slow_target = new_total
-            else:
-                slow_target = max(2, min(new_total - 1, round(new_total * slow_share)))
-            self._loading_target = new_total - slow_target
-            self._slow_target = slow_target
+            action = self.scaling.observe(
+                now=env.now,
+                busy_seconds=ctx.cpu_busy_seconds,
+                queue_fill=queue_fill,
+                workers=max(1, self._loading_target + self._slow_target),
+                background_busy_seconds=ctx.cpu_busy_by_tag.get("slow", 0.0),
+                draining=self._feeding_done and len(self._index_store) == 0,
+            )
+            if action is None:
+                continue
+            self._loading_target = action.loading_target
+            self._slow_target = action.background_target
             self._fill_pools()
-            prev_busy, prev_slow_busy, prev_time = busy, slow_busy, now

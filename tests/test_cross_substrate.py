@@ -1,0 +1,136 @@
+"""Cross-substrate agreement: the threaded engine and the discrete-event
+simulator drive the same policy layer, so on identical cost traces they must
+make identical routing decisions and build identical batches.
+
+This is the invariant the policy refactor exists for ("one policy change,
+both substrates agree"): the trace below mixes fast, borderline and heavy
+samples, and every assertion compares loader *outputs*, not policy
+internals.  Determinism on the threaded side comes from a single loading
+worker, the charged-cost clock and a fixed timeout override.
+"""
+
+import pytest
+
+from repro.clock import ThreadLocalClock
+from repro.core import MinatoConfig, MinatoLoader
+from repro.sim.kernel import Environment
+from repro.sim.loaders import SimContext, SimMinatoLoader
+from repro.sim.workloads import CONFIG_A, WorkloadSpec
+
+from .helpers import StubDataset, stub_pipeline
+
+#: mixed fast / borderline / heavy trace (total cost per sample); with a
+#: 0.05 s budget the 0.06+ samples are slow, with a 0.15 s budget only the
+#: 0.2+ ones are
+COSTS = [
+    0.01, 0.2, 0.01, 0.06, 0.01,
+    0.12, 0.01, 0.01, 0.3, 0.01,
+    0.01, 0.06, 0.2, 0.01, 0.01,
+    0.01, 0.12, 0.01, 0.01, 0.06,
+    0.01, 0.01,
+]
+BATCH_SIZE = 4
+SEED = 3
+N_STAGES = 3
+
+
+def thread_batches(timeout, reorder):
+    """[(indices, flags)] per batch from the threaded engine."""
+    cfg = MinatoConfig(
+        batch_size=BATCH_SIZE,
+        num_workers=1,
+        slow_workers=1,
+        warmup_samples=4,
+        timeout_override=timeout,
+        adaptive_workers=False,
+        reorder=reorder,
+        seed=SEED,
+    )
+    loader = MinatoLoader(
+        StubDataset(COSTS), stub_pipeline(N_STAGES), cfg, clock=ThreadLocalClock()
+    )
+    with loader:
+        return [
+            (batch.indices, [bool(s.flagged_slow) for s in batch.samples])
+            for batch in loader
+        ]
+
+
+def sim_batches(timeout, reorder):
+    """[(indices, flags)] per batch from the discrete-event model."""
+    env = Environment()
+    workload = WorkloadSpec(
+        name="agreement",
+        dataset=StubDataset(COSTS),
+        pipeline=stub_pipeline(N_STAGES),
+        model=None,
+        batch_size=BATCH_SIZE,
+        epochs=1,
+    )
+    ctx = SimContext(env, workload, CONFIG_A, num_gpus=1)
+    loader = SimMinatoLoader(
+        workers_per_gpu=1,
+        slow_workers=1,
+        timeout_override=timeout,
+        adaptive_workers=False,
+        reorder=reorder,
+        seed=SEED,
+    )
+    loader.start(ctx)
+    got = []
+
+    def consumer():
+        while True:
+            batch = yield from loader.get_batch(0)
+            if batch is None:
+                return
+            got.append(([s.index for s in batch.specs], list(batch.slow_flags)))
+
+    env.run(until=env.process(consumer()))
+    return got
+
+
+def flags_by_index(batches):
+    return {i: f for indices, flags in batches for i, f in zip(indices, flags)}
+
+
+@pytest.mark.parametrize("timeout", [0.05, 0.15])
+def test_strict_order_batches_identical(timeout):
+    """Strict-order mode: batch sequences (membership, order AND slow flags)
+    are identical across substrates."""
+    threaded = thread_batches(timeout, reorder=False)
+    simulated = sim_batches(timeout, reorder=False)
+    assert threaded == simulated
+    # and the trace genuinely mixes outcomes under the 0.05 budget
+    all_flags = [f for _i, flags in threaded for f in flags]
+    assert any(all_flags) and not all(all_flags)
+
+
+@pytest.mark.parametrize("timeout", [0.05, 0.15])
+def test_reorder_mode_routing_decisions_identical(timeout):
+    """Reordering mode: delivery order is a timing property (substrates may
+    legitimately differ), but per-sample routing decisions may not."""
+    threaded = thread_batches(timeout, reorder=True)
+    simulated = sim_batches(timeout, reorder=True)
+    assert flags_by_index(threaded) == flags_by_index(simulated)
+    # sample conservation on both substrates
+    for batches in (threaded, simulated):
+        delivered = sorted(i for indices, _f in batches for i in indices)
+        assert delivered == list(range(len(COSTS)))
+
+
+def test_flags_match_the_cost_trace():
+    """Both substrates flag exactly the samples whose cost exceeds the
+    budget -- the policy's classification rule, observed end to end."""
+    expected = {i: cost > 0.05 for i, cost in enumerate(COSTS)}
+    assert flags_by_index(thread_batches(0.05, reorder=True)) == expected
+    assert flags_by_index(sim_batches(0.05, reorder=True)) == expected
+
+
+def test_policy_change_shifts_both_substrates_together():
+    """Raising the budget reclassifies the borderline samples identically on
+    both substrates."""
+    threaded = flags_by_index(thread_batches(0.15, reorder=True))
+    simulated = flags_by_index(sim_batches(0.15, reorder=True))
+    assert threaded == simulated
+    assert sum(threaded.values()) == sum(1 for c in COSTS if c > 0.15)
