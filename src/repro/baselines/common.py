@@ -156,7 +156,9 @@ class BaseConcurrentLoader:
 
     @property
     def total_samples(self) -> int:
-        return self.epochs * len(self.dataset)
+        # sampler-derived, not dataset-derived: a sharded sampler yields
+        # only its rank's slice and the quotas must match what is fed
+        return self.epochs * len(self.sampler)
 
     def next_batch(self, gpu: int = 0) -> Optional[Batch]:
         if not 0 <= gpu < self.num_gpus:
@@ -182,7 +184,7 @@ class BaseConcurrentLoader:
         self.start()
         epoch = self._epochs_consumed
         self._epochs_consumed += 1
-        target = min((epoch + 1) * len(self.dataset), self.total_samples)
+        target = min((epoch + 1) * len(self.sampler), self.total_samples)
         while self._delivered_to_user < target:
             batch = self.next_batch(0)
             if batch is None:

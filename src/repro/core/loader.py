@@ -231,7 +231,11 @@ class MinatoLoader:
         self._in_flight = 0
         self._in_flight_lock = threading.Lock()
 
-        self._total_expected = epochs * len(dataset)
+        # quotas derive from the *sampler*, not the dataset: a sharded
+        # sampler feeds only its rank's slice, and sizing the stream from
+        # the dataset would leave builders waiting forever on samples the
+        # feeder never emits
+        self._total_expected = epochs * len(self.sampler)
         self._remaining_per_gpu = deal_quota(
             self._total_expected, cfg.batch_size, cfg.num_gpus
         )
@@ -413,9 +417,11 @@ class MinatoLoader:
                 self._idle_wait()
                 continue
             sample, resume_index, epoch, seq = item
+            # same (seed, epoch) derivation as _process_one: slow samples
+            # must draw fresh augmentations each epoch like fast ones do
             ctx = WorkContext(
                 clock=self.clock,
-                rng=np.random.default_rng((sample.spec.seed + 104_729) & 0x7FFFFFFF),
+                rng=np.random.default_rng((sample.spec.seed + 7_919 * epoch) & 0x7FFFFFFF),
             )
             sample = self.balancer.resume(sample, resume_index, ctx)
             self._counters.add(
@@ -537,7 +543,7 @@ class MinatoLoader:
         self.start()
         epoch = self._epochs_consumed
         self._epochs_consumed += 1
-        target = min((epoch + 1) * len(self.dataset), self._total_expected)
+        target = min((epoch + 1) * len(self.sampler), self._total_expected)
         while self._delivered_to_user < target:
             batch = self.next_batch(0)
             if batch is None:

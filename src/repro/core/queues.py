@@ -14,7 +14,11 @@ from typing import Any, Optional
 
 from ..errors import LoaderStateError
 
-__all__ = ["WorkQueue", "QueueClosed"]
+__all__ = ["WorkQueue", "QueueClosed", "DEFAULT_SOFT_CAPACITY"]
+
+#: reference occupancy denominator for unbounded queues: scheduler feedback
+#: needs a finite "full" point, and this matches the default bounded capacity
+DEFAULT_SOFT_CAPACITY = 100
 
 
 class QueueClosed(LoaderStateError):
@@ -31,9 +35,19 @@ class WorkQueue:
 
     _POLL_SLICE = 0.005  # wall seconds
 
-    def __init__(self, capacity: int = 0, name: str = "queue") -> None:
+    def __init__(
+        self,
+        capacity: int = 0,
+        name: str = "queue",
+        soft_capacity: int = DEFAULT_SOFT_CAPACITY,
+    ) -> None:
+        if soft_capacity < 1:
+            raise LoaderStateError(
+                f"soft_capacity must be >= 1, got {soft_capacity!r}"
+            )
         self._q: "queue.Queue" = queue.Queue(maxsize=capacity)
         self.name = name
+        self._soft_capacity = soft_capacity
         self._closed = threading.Event()
         self._lock = threading.Lock()
         self.peak_size = 0
@@ -54,9 +68,14 @@ class WorkQueue:
         return self._q.qsize()
 
     def fill_fraction(self) -> float:
-        if self._q.maxsize <= 0:
-            return 0.0
-        return self._q.qsize() / self._q.maxsize
+        """Occupancy in [0, 1] for scheduler feedback.
+
+        Unbounded queues report against ``soft_capacity``: a constant 0.0
+        would make the worker scheduler read a backlogged queue as
+        permanently empty and scale up without bound.
+        """
+        reference = self._q.maxsize if self._q.maxsize > 0 else self._soft_capacity
+        return min(1.0, self._q.qsize() / reference)
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -59,11 +59,31 @@ class RandomSampler:
 class ShardedSampler:
     """Random sampler restricted to one data-parallel rank's shard.
 
-    Matches DistributedSampler semantics: the epoch's global shuffle is
-    shared by all ranks and each rank takes a strided slice.
+    Matches ``torch.utils.data.DistributedSampler`` semantics: the epoch's
+    global shuffle is shared by all ranks and each rank takes a strided
+    slice.  Every rank sees the *same* number of samples per epoch -- a
+    lockstep DDP consumer deadlocks the moment one rank's epoch is one
+    sample longer than another's -- via one of two tail policies:
+
+    * ``drop_last=False`` (default): the shuffle is padded with wrap-around
+      repeats of its own head until it divides evenly, so every sample is
+      covered and up to ``world_size - 1`` samples appear twice;
+    * ``drop_last=True``: the tail is dropped so the shards partition a
+      subset exactly (no duplicates, up to ``world_size - 1`` samples
+      uncovered).
+
+    When ``n`` divides evenly by ``world_size`` the two modes coincide and
+    the shards are disjoint, equal-length and cover the dataset.
     """
 
-    def __init__(self, n: int, rank: int, world_size: int, seed: int = 0) -> None:
+    def __init__(
+        self,
+        n: int,
+        rank: int,
+        world_size: int,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
         if world_size < 1:
             raise ConfigurationError(f"world_size must be >= 1, got {world_size!r}")
         if not 0 <= rank < world_size:
@@ -71,12 +91,41 @@ class ShardedSampler:
         self._inner = RandomSampler(n, seed=seed)
         self._rank = rank
         self._world_size = world_size
+        self._drop_last = drop_last
+        if drop_last:
+            self._num_samples = n // world_size
+        else:
+            self._num_samples = (n + world_size - 1) // world_size
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def world_size(self) -> int:
+        return self._world_size
+
+    @property
+    def drop_last(self) -> bool:
+        return self._drop_last
+
+    @property
+    def total_size(self) -> int:
+        """Global samples per epoch across all ranks (after pad/drop)."""
+        return self._num_samples * self._world_size
 
     def __len__(self) -> int:
-        return (len(self._inner) + self._world_size - 1 - self._rank) // self._world_size
+        """Per-rank samples per epoch -- identical on every rank."""
+        return self._num_samples
 
     def epoch(self, epoch_index: int) -> List[int]:
         order = self._inner.epoch(epoch_index)
+        total = self.total_size
+        if self._drop_last:
+            order = order[:total]
+        else:
+            while len(order) < total:
+                order.extend(order[: total - len(order)])
         return order[self._rank :: self._world_size]
 
     def __iter__(self) -> Iterator[int]:

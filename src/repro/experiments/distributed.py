@@ -1,27 +1,52 @@
-"""Distributed-training extension experiment (paper §6 discussion).
+"""Distributed-training scaling experiment (paper §6 discussion).
 
 The paper states MinatoLoader "generalizes for distributed training with
 multiple nodes and GPUs": each node's loader keeps its preprocessing and
 batch-construction benefits, with data-parallel synchronization on top.
-This experiment scales the Speech-3s workload from 1 to 4 nodes (2 GPUs
-each) and checks that:
+This experiment runs a nodes x {minato, pytorch} x {uniform, straggler}
+sweep over the Speech-3s workload with *real sharding*: every node's loader
+samples a disjoint, equal-length shard of each epoch's global shuffle, so
+the cluster covers the dataset once per epoch.
+
+Checks:
 
 * Minato's advantage over the PyTorch loader persists at every node count
   (the bottleneck it removes is node-local);
 * both loaders pay the same growing all-reduce cost;
-* per-node GPU utilization stays flat for Minato as nodes are added.
+* per-node GPU utilization stays flat for Minato as nodes are added;
+* ranks' shards are equal-length and cover the dataset (DistributedSampler
+  padding semantics);
+* a heterogeneous cluster (one node with fewer CPU cores and slower
+  storage) slows *every* rank through the per-step barrier -- the tail
+  latency coupling that makes per-node loader efficiency matter.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import render_table
+from ..data.storage import StorageSpec
 from ..sim.distributed import AllReduceModel, DistributedResult, run_distributed
-from ..sim.workloads import CONFIG_A, make_workload
+from ..sim.workloads import CONFIG_A, HardwareConfig, make_workload
 from .common import ExperimentReport, default_scale
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "straggler_config"]
+
+
+def straggler_config(base: HardwareConfig) -> HardwareConfig:
+    """A degraded node: a quarter of the CPU cores, congested storage."""
+    return replace(
+        base,
+        name=f"{base.name}_straggler",
+        cpu_cores=max(8, base.cpu_cores // 4),
+        storage=StorageSpec(
+            name=f"{base.storage.name}_congested",
+            bandwidth=base.storage.bandwidth / 8.0,
+            latency=base.storage.latency * 8.0,
+        ),
+    )
 
 
 def run(
@@ -32,55 +57,85 @@ def run(
     scale = scale if scale is not None else default_scale()
     report = ExperimentReport(
         experiment_id="distributed",
-        title="Extension: multi-node data-parallel training (paper §6)",
+        title="Extension: multi-node sharded data-parallel training (paper §6)",
         scale=scale,
     )
     workload = make_workload("speech_3s").scaled(scale)
     steps_per_gpu = max(4, workload.iterations // (max(node_counts) * gpus_per_node))
     allreduce = AllReduceModel()
+    straggler_nodes = [n for n in node_counts if n >= 2]
 
-    results: Dict[Tuple[str, int], DistributedResult] = {}
+    results: Dict[Tuple[str, int, str], DistributedResult] = {}
     rows = []
     for loader in ("pytorch", "minato"):
         for nodes in node_counts:
-            result = run_distributed(
-                loader,
-                workload,
-                CONFIG_A,
-                nodes=nodes,
-                gpus_per_node=gpus_per_node,
-                allreduce=allreduce,
-                steps_per_gpu=steps_per_gpu,
-            )
-            results[(loader, nodes)] = result
-            rows.append(
-                (
+            arms = ["uniform"] + (["straggler"] if nodes in straggler_nodes else [])
+            for arm in arms:
+                node_hardware = None
+                if arm == "straggler":
+                    node_hardware = [CONFIG_A] * (nodes - 1) + [
+                        straggler_config(CONFIG_A)
+                    ]
+                result = run_distributed(
                     loader,
-                    nodes,
-                    result.world_size,
-                    f"{result.training_time:.1f}",
-                    f"{result.gpu_utilization * 100:.1f}",
-                    f"{result.sync_seconds_total / max(result.steps, 1) * 1000:.1f}",
+                    workload,
+                    CONFIG_A,
+                    nodes=nodes,
+                    gpus_per_node=gpus_per_node,
+                    allreduce=allreduce,
+                    steps_per_gpu=steps_per_gpu,
+                    node_hardware=node_hardware,
                 )
-            )
+                results[(loader, nodes, arm)] = result
+                rows.append(
+                    (
+                        loader,
+                        nodes,
+                        arm,
+                        result.world_size,
+                        f"{result.training_time:.1f}",
+                        f"{result.gpu_utilization * 100:.1f}",
+                        f"{result.sync_seconds_total / max(result.steps, 1) * 1000:.1f}",
+                    )
+                )
     report.body = render_table(
-        ["loader", "nodes", "world", "time (s)", "GPU %", "sync ms/step"],
+        ["loader", "nodes", "arm", "world", "time (s)", "GPU %", "sync ms/step"],
         rows,
         title=f"Speech-3s, {gpus_per_node} GPUs/node, {steps_per_gpu} steps/GPU:",
     )
     report.data["results"] = results
 
+    # -- sharding invariants ----------------------------------------------------
+    n_samples = len(workload.dataset)
+    for nodes in node_counts:
+        result = results[("minato", nodes, "uniform")]
+        sizes = result.shard_sizes
+        # compare the *measured* sampler lengths against the padding
+        # arithmetic: a loader that ignored its shard assignment would
+        # report the full dataset here, not its slice
+        expected = (n_samples + nodes - 1) // nodes
+        report.check(
+            f"{nodes} node(s): ranks sample equal-length shards covering "
+            f"the dataset",
+            sizes == [expected] * nodes,
+            f"measured shard sizes {sizes}, expected {expected} each "
+            f"(dataset {n_samples})",
+        )
+
+    # -- Minato advantage persists under DDP ------------------------------------
     for nodes in node_counts:
         speedup = (
-            results[("pytorch", nodes)].training_time
-            / results[("minato", nodes)].training_time
+            results[("pytorch", nodes, "uniform")].training_time
+            / results[("minato", nodes, "uniform")].training_time
         )
         report.check(
             f"{nodes} node(s): Minato advantage persists under DDP",
             speedup >= 1.5,
             f"pytorch/minato = {speedup:.2f}x",
         )
-    minato_utils = [results[("minato", n)].gpu_utilization for n in node_counts]
+    minato_utils = [
+        results[("minato", n, "uniform")].gpu_utilization for n in node_counts
+    ]
     report.check(
         "Minato per-GPU utilization stays high as nodes are added "
         "(node-local benefits compose)",
@@ -89,12 +144,44 @@ def run(
     )
     if len(node_counts) > 1:
         first, last = node_counts[0], node_counts[-1]
-        sync_first = results[("minato", first)].sync_seconds_total
-        sync_last = results[("minato", last)].sync_seconds_total
+        sync_first = results[("minato", first, "uniform")].sync_seconds_total
+        sync_last = results[("minato", last, "uniform")].sync_seconds_total
         report.check(
             "all-reduce cost grows with the world size (both loaders pay it)",
             sync_last > sync_first,
             f"{sync_first:.1f}s at {first} node(s) vs {sync_last:.1f}s at {last}",
+        )
+
+    # -- straggler coupling ------------------------------------------------------
+    for nodes in straggler_nodes:
+        for loader in ("pytorch", "minato"):
+            uniform = results[(loader, nodes, "uniform")].training_time
+            straggler = results[(loader, nodes, "straggler")].training_time
+            report.check(
+                f"{loader}, {nodes} nodes: a straggler node never speeds "
+                f"up the cluster",
+                straggler >= uniform * 0.99,
+                f"uniform {uniform:.1f}s -> straggler {straggler:.1f}s",
+            )
+        minato_degradation = (
+            results[("minato", nodes, "straggler")].training_time
+            / results[("minato", nodes, "uniform")].training_time
+        )
+        report.check(
+            f"minato, {nodes} nodes: the per-step barrier couples the slow "
+            f"node's tail latency to every rank (an efficient loader exposes "
+            f"the straggler; PyTorch's own stalls already hide it)",
+            minato_degradation > 1.05,
+            f"straggler/uniform = {minato_degradation:.2f}x",
+        )
+        speedup = (
+            results[("pytorch", nodes, "straggler")].training_time
+            / results[("minato", nodes, "straggler")].training_time
+        )
+        report.check(
+            f"{nodes} nodes: Minato still wins on a heterogeneous cluster",
+            speedup > 1.0,
+            f"pytorch/minato = {speedup:.2f}x",
         )
     return report
 

@@ -131,9 +131,12 @@ class ScalingPolicy:
                 # only background work remains: give it the whole budget
                 background = total
             else:
-                background = max(
-                    self.min_background, min(total - 1, round(total * share))
-                )
+                # clamp *after* applying the floor: min_background may not
+                # starve the loading path while loading work remains (at
+                # total <= min_background the old order produced a negative
+                # loading target), so loading always keeps >= 1 worker
+                background = max(self.min_background, round(total * share))
+                background = min(background, max(0, total - 1))
             action = ScalingAction(
                 decision=decision,
                 total_workers=total,

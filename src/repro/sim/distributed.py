@@ -5,10 +5,18 @@ training: every node runs its own loader instance over a shard of the
 dataset, and the per-node preprocessing/batch-construction benefits carry
 over unchanged, with gradient synchronization coupling the nodes per step.
 
-This module simulates that setting: ``nodes`` identical machines, each with
-its own storage, CPU pool and GPUs, plus a cluster-wide all-reduce barrier
-per training step whose cost grows with the world size (ring all-reduce:
+This module simulates that setting: ``nodes`` machines (identical by
+default, optionally heterogeneous via ``node_hardware``), each with its own
+storage, CPU pool and GPUs, plus a cluster-wide all-reduce barrier per
+training step whose cost grows with the world size (ring all-reduce:
 latency term x 2(world-1)/world plus a bandwidth term).
+
+The dataset is *sharded* across nodes with
+:class:`~repro.data.samplers.ShardedSampler` semantics: each node's loader
+samples a disjoint, equal-length slice of every epoch's global shuffle
+(wrap-around padded when the dataset does not divide evenly), so the
+cluster collectively covers the dataset once per epoch instead of every
+node redundantly processing all of it.
 
 The claim validated by :func:`repro.experiments.distributed.run`: Minato's
 advantage over the PyTorch loader persists as nodes are added, because the
@@ -18,8 +26,9 @@ bottleneck it removes is node-local.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..data.samplers import ShardedSampler
 from ..engine.metrics import average_utilization
 from ..errors import ConfigurationError
 from .kernel import AllOf, Environment
@@ -66,6 +75,12 @@ class DistributedResult:
     #: mean CPU utilization across nodes
     cpu_utilization: float
     sync_seconds_total: float = 0.0
+    #: per-node samples per epoch, measured from each loader's own sampler
+    shard_sizes: List[int] = field(default_factory=list)
+    #: per-node mean CPU utilization (exposes stragglers)
+    per_node_cpu_utilization: List[float] = field(default_factory=list)
+    #: per-node hardware config names (heterogeneous-cluster runs)
+    node_hardware_names: List[str] = field(default_factory=list)
 
     @property
     def world_size(self) -> int:
@@ -81,30 +96,72 @@ def run_distributed(
     allreduce: Optional[AllReduceModel] = None,
     loader_kwargs: Optional[dict] = None,
     steps_per_gpu: Optional[int] = None,
+    node_hardware: Optional[Sequence[HardwareConfig]] = None,
 ) -> DistributedResult:
     """Simulate data-parallel training across ``nodes`` machines.
 
     Every node runs an independent loader instance (its own SimContext:
-    storage, page cache, CPU cores, GPUs).  Training is synchronous: all
-    GPUs in the cluster execute step ``k``, then join a cluster-wide
-    all-reduce before step ``k+1`` -- DDP semantics.
+    storage, page cache, CPU cores, GPUs) over *its rank's shard* of the
+    dataset -- disjoint, equal-length slices of each epoch's global
+    shuffle.  Training is synchronous: all GPUs in the cluster execute
+    step ``k``, then join a cluster-wide all-reduce before step ``k+1`` --
+    DDP semantics.
+
+    ``node_hardware`` (one config per node) models heterogeneous clusters:
+    a node with fewer CPU cores or slower storage becomes a straggler whose
+    tail latency the per-step barrier imposes on every other rank.
     """
     if nodes < 1:
         raise ConfigurationError(f"nodes must be >= 1, got {nodes!r}")
+    if node_hardware is not None and len(node_hardware) != nodes:
+        raise ConfigurationError(
+            f"node_hardware must list one config per node: "
+            f"got {len(node_hardware)} for {nodes} nodes"
+        )
+    node_hw = list(node_hardware) if node_hardware is not None else [hardware] * nodes
     allreduce = allreduce if allreduce is not None else AllReduceModel()
+    world = nodes * gpus_per_node
+    base_kwargs = dict(loader_kwargs or {})
+    for key in ("shard_rank", "shard_world_size", "total_batches_override"):
+        base_kwargs.pop(key, None)
+    seed = base_kwargs.get("seed", 0)
+
+    # equal per rank by ShardedSampler construction (wrap-around padding)
+    shard_len = len(
+        ShardedSampler(len(workload.dataset), rank=0, world_size=nodes, seed=seed)
+    )
+    if steps_per_gpu is None:
+        if workload.epochs is not None:
+            node_batches = workload.epochs * (
+                (shard_len + workload.batch_size - 1) // workload.batch_size
+            )
+            steps_per_gpu = (node_batches + gpus_per_node - 1) // gpus_per_node
+        else:
+            # iteration budget is cluster-wide: split it across all ranks
+            steps_per_gpu = max(1, (workload.iterations + world - 1) // world)
+
     env = Environment()
     contexts: List[SimContext] = []
     loaders = []
-    for _node in range(nodes):
-        ctx = SimContext(env, workload, hardware, gpus_per_node)
-        loader = make_sim_loader(loader_name, **(loader_kwargs or {}))
+    measured_shards: List[int] = []
+    for node in range(nodes):
+        ctx = SimContext(env, workload, node_hw[node], gpus_per_node)
+        loader = make_sim_loader(
+            loader_name,
+            **base_kwargs,
+            shard_rank=node,
+            shard_world_size=nodes,
+            total_batches_override=steps_per_gpu * gpus_per_node,
+        )
         loader.start(ctx)
         contexts.append(ctx)
         loaders.append(loader)
+        # measured from the sampler the loader actually built, so a loader
+        # that ignored its shard assignment is visible to callers (loaders
+        # that shard internally per GPU report the node-level arithmetic)
+        sampler = getattr(loader, "sampler", None)
+        measured_shards.append(len(sampler) if sampler is not None else shard_len)
 
-    world = nodes * gpus_per_node
-    if steps_per_gpu is None:
-        steps_per_gpu = workload.batches_per_gpu(gpus_per_node)
     sync_cost = allreduce.step_cost(world)
 
     counters = {"steps": 0, "samples": 0, "sync": 0.0}
@@ -130,7 +187,7 @@ def run_distributed(
             if batch is None:
                 return
             step = workload.model.step_time(
-                batch.size, hardware.gpu_type, world_size=1
+                batch.size, node_hw[node].gpu_type, world_size=1
             )
             yield from ctx.train_step(gpu, step)
             counters["steps"] += 1
@@ -159,9 +216,9 @@ def run_distributed(
     ]
     cpu_utils = [
         average_utilization(
-            ctx.cpu_recorder.intervals, 0.0, duration, capacity=hardware.cpu_cores
+            ctx.cpu_recorder.intervals, 0.0, duration, capacity=hw.cpu_cores
         )
-        for ctx in contexts
+        for ctx, hw in zip(contexts, node_hw)
     ]
     return DistributedResult(
         loader=loader_name,
@@ -174,4 +231,7 @@ def run_distributed(
         gpu_utilization=sum(gpu_utils) / len(gpu_utils),
         cpu_utilization=sum(cpu_utils) / len(cpu_utils),
         sync_seconds_total=counters["sync"],
+        shard_sizes=measured_shards,
+        per_node_cpu_utilization=cpu_utils,
+        node_hardware_names=[hw.name for hw in node_hw],
     )

@@ -162,7 +162,7 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current instant."""
         if not self.is_alive:
             raise SimulationError("cannot interrupt a terminated process")
-        if self._target is self.env.active_process:
+        if self is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
         interrupt_event = Event(self.env)
         interrupt_event._ok = False

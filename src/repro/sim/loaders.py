@@ -206,13 +206,28 @@ _deal_batch_plan = deal_batch_plan
 
 
 class BaseSimLoader:
-    """Common surface: batch stores + per-GPU consumption generators."""
+    """Common surface: batch stores + per-GPU consumption generators.
+
+    Subclasses may set ``shard_rank`` / ``shard_world_size`` (from their
+    constructors) to run as one data-parallel rank: the loader then samples
+    only its rank's shard and sizes its stream from the *sampler* length.
+    ``total_batches_override`` pins the delivered-batch budget explicitly
+    (the distributed runner uses it to keep lockstep ranks in agreement).
+    """
 
     name = "base"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        shard_rank: Optional[int] = None,
+        shard_world_size: int = 1,
+        total_batches_override: Optional[int] = None,
+    ) -> None:
         self.batch_stores: List[Store] = []
         self.ctx: Optional[SimContext] = None
+        self.shard_rank = shard_rank
+        self.shard_world_size = shard_world_size
+        self.total_batches_override = total_batches_override
         # cost-model results are deterministic per sample: memoize them
         # (sims revisit samples every epoch)
         self._cost_cache: dict = {}
@@ -221,6 +236,51 @@ class BaseSimLoader:
 
     def start(self, ctx: SimContext) -> None:
         raise NotImplementedError
+
+    def node_rank(self) -> int:
+        """This loader's data-parallel rank; fails fast on half-configured
+        sharding (a forgotten rank would silently duplicate rank 0's shard)."""
+        if self.shard_world_size > 1 and self.shard_rank is None:
+            raise ConfigurationError(
+                f"shard_rank is required when shard_world_size > 1 "
+                f"(got shard_world_size={self.shard_world_size})"
+            )
+        return self.shard_rank if self.shard_rank is not None else 0
+
+    def make_sampler(self, n: int):
+        """This rank's sampler: a shard when data-parallel, else the full shuffle."""
+        if self.shard_world_size > 1:
+            return ShardedSampler(
+                n,
+                rank=self.node_rank(),
+                world_size=self.shard_world_size,
+                seed=self.seed,
+            )
+        return RandomSampler(n, seed=self.seed)
+
+    def batch_budget(self, ctx: SimContext, sampler) -> int:
+        """Total batches this loader instance must deliver.
+
+        Derives from the sampler (the rank's shard), not the dataset: an
+        epoch here is one pass over the shard.  Iteration-budgeted
+        workloads fix cluster-wide steps instead, so sharded ranks must
+        pass ``total_batches_override``.
+        """
+        if self.total_batches_override is not None:
+            return self.total_batches_override
+        workload = ctx.workload
+        if workload.epochs is not None and self.shard_world_size > 1:
+            per_epoch = (
+                len(sampler) + workload.batch_size - 1
+            ) // workload.batch_size
+            return workload.epochs * per_epoch
+        if self.shard_world_size > 1:
+            raise ConfigurationError(
+                "iteration-budgeted workloads fix cluster-wide steps; a "
+                "sharded rank must pass total_batches_override (its slice "
+                "of the budget) or every rank redundantly runs all of it"
+            )
+        return workload.total_batches(ctx.num_gpus)
 
     def total_cost(self, spec: SampleSpec) -> float:
         value = self._cost_cache.get(spec.index)
@@ -271,8 +331,15 @@ class SimTorchLoader(BaseSimLoader):
         queue_capacity: int = 100,
         pipeline_override=None,
         seed: int = 0,
+        shard_rank: Optional[int] = None,
+        shard_world_size: int = 1,
+        total_batches_override: Optional[int] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(
+            shard_rank=shard_rank,
+            shard_world_size=shard_world_size,
+            total_batches_override=total_batches_override,
+        )
         self.num_workers = num_workers
         self.prefetch_factor = prefetch_factor
         self.persistent_workers = persistent_workers
@@ -293,14 +360,14 @@ class SimTorchLoader(BaseSimLoader):
         self.batch_stores = [
             Store(env, capacity=self.queue_capacity) for _ in range(ctx.num_gpus)
         ]
-        self.total_batches = ctx.workload.total_batches(ctx.num_gpus)
+        self.sampler = self.make_sampler(len(ctx.workload.dataset))
+        self.total_batches = self.batch_budget(ctx, self.sampler)
         env.process(self._orchestrator())
 
     def _orchestrator(self) -> Generator:
         ctx = self.ctx
         env = ctx.env
-        dataset = ctx.workload.dataset
-        sampler = RandomSampler(len(dataset), seed=self.seed)
+        sampler = self.sampler
         delivered = 0
         epoch = 0
         started_persistent = False
@@ -310,6 +377,16 @@ class SimTorchLoader(BaseSimLoader):
             batches = BatchSampler(
                 sampler, ctx.workload.batch_size, drop_last=drop_last
             ).epoch(epoch)
+            if not batches:
+                # an empty epoch can never advance `delivered`: without this
+                # guard a shard smaller than one full batch (drop_last) spins
+                # here forever instead of surfacing the unsatisfiable budget
+                raise ConfigurationError(
+                    f"sampler yields {len(sampler)} samples per epoch, not "
+                    f"enough for one batch (batch_size="
+                    f"{ctx.workload.batch_size}, drop_last={drop_last}); "
+                    f"cannot deliver {self.total_batches} batches"
+                )
             batches = batches[: self.total_batches - delivered]
             restart = not self.persistent_workers or not started_persistent
             if restart and self.worker_startup_seconds > 0:
@@ -395,8 +472,15 @@ class SimDALILoader(BaseSimLoader):
         gpu_speedup: float = 10.0,
         cpu_decode_bandwidth: float = 2.0 * 1024**3,
         seed: int = 0,
+        shard_rank: Optional[int] = None,
+        shard_world_size: int = 1,
+        total_batches_override: Optional[int] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(
+            shard_rank=shard_rank,
+            shard_world_size=shard_world_size,
+            total_batches_override=total_batches_override,
+        )
         self.num_threads_per_gpu = num_threads_per_gpu
         self.prefetch_queue_depth = prefetch_queue_depth
         self.gpu_speedup = gpu_speedup
@@ -413,7 +497,12 @@ class SimDALILoader(BaseSimLoader):
         self._raw_stores = [
             Store(env, capacity=depth * batch) for _ in range(ctx.num_gpus)
         ]
-        per_gpu = ctx.workload.batches_per_gpu(ctx.num_gpus)
+        if self.total_batches_override is not None:
+            per_gpu = (
+                self.total_batches_override + ctx.num_gpus - 1
+            ) // ctx.num_gpus
+        else:
+            per_gpu = ctx.workload.batches_per_gpu(ctx.num_gpus)
         for gpu in range(ctx.num_gpus):
             needed = per_gpu * batch
             per_thread = needed // self.num_threads_per_gpu
@@ -425,10 +514,12 @@ class SimDALILoader(BaseSimLoader):
             env.process(self._gpu_stage(gpu, per_gpu))
 
     def _shard_stream(self, gpu: int) -> Iterator[int]:
+        # DALI always shards per GPU; under data parallelism that composes
+        # with the node-level shard into one flat (node, gpu) rank space
         sampler = ShardedSampler(
             len(self.ctx.workload.dataset),
-            rank=gpu,
-            world_size=self.ctx.num_gpus,
+            rank=self.node_rank() * self.ctx.num_gpus + gpu,
+            world_size=self.shard_world_size * self.ctx.num_gpus,
             seed=self.seed,
         )
         epoch = 0
@@ -502,8 +593,15 @@ class SimMinatoLoader(BaseSimLoader):
         size_percentile: float = 75.0,
         reorder: bool = True,
         seed: int = 0,
+        shard_rank: Optional[int] = None,
+        shard_world_size: int = 1,
+        total_batches_override: Optional[int] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(
+            shard_rank=shard_rank,
+            shard_world_size=shard_world_size,
+            total_batches_override=total_batches_override,
+        )
         if classifier not in ("timeout", "size"):
             raise ConfigurationError(
                 f"classifier must be 'timeout' or 'size', got {classifier!r}"
@@ -540,6 +638,7 @@ class SimMinatoLoader(BaseSimLoader):
         self.ctx = ctx
         env = ctx.env
         workload = ctx.workload
+        self.sampler = self.make_sampler(len(workload.dataset))
         self.substrate = SimSubstrate(env)
         self.pipeline = workload.pipeline
         cap = self.queue_capacity
@@ -628,9 +727,11 @@ class SimMinatoLoader(BaseSimLoader):
 
     def _total_samples(self) -> int:
         workload = self.ctx.workload
-        if workload.epochs is not None:
-            return workload.epochs * len(workload.dataset)
-        return workload.total_batches(self.ctx.num_gpus) * workload.batch_size
+        if self.total_batches_override is None and workload.epochs is not None:
+            # sampler length, not dataset length: a sharded rank feeds only
+            # its (padded) slice per epoch
+            return workload.epochs * len(self.sampler)
+        return self.batch_budget(self.ctx, self.sampler) * workload.batch_size
 
     # -- worker pool --------------------------------------------------------------
 
@@ -654,8 +755,7 @@ class SimMinatoLoader(BaseSimLoader):
     # -- processes --------------------------------------------------------------------
 
     def _feeder(self) -> Generator:
-        sampler = RandomSampler(len(self.ctx.workload.dataset), seed=self.seed)
-        stream = index_stream(sampler)
+        stream = index_stream(self.sampler)
         for _ in range(self._total_fed):
             epoch, seq, index = next(stream)
             yield self._index_store.put((epoch, seq, index))

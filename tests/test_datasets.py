@@ -172,11 +172,16 @@ def test_random_sampler_deterministic_per_epoch_but_reshuffles():
     assert s.epoch(0) != s.epoch(1)
 
 
-def test_sharded_sampler_partitions_epoch():
+def test_sharded_sampler_covers_epoch_with_equal_ranks():
+    """DistributedSampler semantics: equal-length ranks via wrap-around
+    padding; together they cover the dataset (the pad duplicates at most
+    world_size - 1 samples)."""
     world = 4
     shards = [ShardedSampler(103, rank=r, world_size=world, seed=9) for r in range(world)]
-    combined = sorted(i for s in shards for i in s.epoch(2))
-    assert combined == list(range(103))
+    assert [len(s) for s in shards] == [26] * world
+    combined = [i for s in shards for i in s.epoch(2)]
+    assert len(combined) == shards[0].total_size == 104
+    assert set(combined) == set(range(103))
 
 
 def test_sharded_sampler_validates_rank():

@@ -108,6 +108,38 @@ def test_distributed_minato_beats_pytorch_across_nodes():
         assert minato_result.training_time < torch_result.training_time
 
 
+def test_distributed_validates_node_hardware_length():
+    with pytest.raises(ConfigurationError):
+        run_distributed(
+            "minato", tiny_speech(), CONFIG_A, nodes=2, node_hardware=[CONFIG_A]
+        )
+
+
+def test_distributed_straggler_node_couples_the_cluster():
+    """One degraded node (fewer cores, slower storage) slows every rank:
+    the per-step barrier imposes the straggler's tail latency cluster-wide."""
+    from repro.experiments.distributed import straggler_config
+
+    wl = tiny_speech()
+    uniform = run_distributed(
+        "minato", wl, CONFIG_A, nodes=2, gpus_per_node=2, steps_per_gpu=5
+    )
+    straggler = run_distributed(
+        "minato",
+        wl,
+        CONFIG_A,
+        nodes=2,
+        gpus_per_node=2,
+        steps_per_gpu=5,
+        node_hardware=[CONFIG_A, straggler_config(CONFIG_A)],
+    )
+    assert straggler.training_time > uniform.training_time
+    assert straggler.node_hardware_names == ["config_a", "config_a_straggler"]
+    assert len(straggler.per_node_cpu_utilization) == 2
+    # both runs complete the same synchronized step budget
+    assert straggler.steps == uniform.steps == 20
+
+
 def test_distributed_barrier_synchronizes_steps():
     """With a barrier, no GPU can run far ahead: both nodes end together."""
     wl = tiny_speech()

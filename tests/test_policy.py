@@ -331,6 +331,49 @@ def test_scaling_split_draining_gives_background_everything():
     assert action.loading_target == 0
 
 
+def test_scaling_split_never_starves_loading_path():
+    """Regression: with the pool scaled to <= min_background workers, the
+    min_background floor used to swallow the whole budget and leave a
+    *negative* loading target (total=1 -> background=2 -> loading=-1)."""
+    policy = make_scaling(split_background=True, min_background=2)
+    policy.reset(0.0)
+    # 1 idle worker, full queues -> Formula 1 keeps the pool at min_workers=1
+    action = policy.observe(
+        now=1.0,
+        busy_seconds=0.0,
+        queue_fill=1.0,
+        workers=1,
+        background_busy_seconds=0.0,
+    )
+    assert action.total_workers == 1
+    assert action.loading_target >= 1
+    assert action.background_target >= 0
+    assert action.loading_target + action.background_target == action.total_workers
+
+
+def test_scaling_split_loading_target_positive_across_pool_sizes():
+    """Whenever loading work remains, loading keeps >= 1 worker at every
+    reachable pool size and background share."""
+    for workers in (1, 2, 3, 5, 10):
+        for background_busy in (0.0, 0.5, 1.0):
+            policy = make_scaling(split_background=True, min_background=2)
+            policy.reset(0.0)
+            busy = float(workers)
+            action = policy.observe(
+                now=1.0,
+                busy_seconds=busy,
+                queue_fill=0.5,
+                workers=workers,
+                background_busy_seconds=busy * background_busy,
+            )
+            assert action.loading_target >= 1, (workers, background_busy)
+            assert action.background_target >= 0
+            assert (
+                action.loading_target + action.background_target
+                == action.total_workers
+            )
+
+
 def test_scaling_profiler_surface():
     profiler = TimeoutProfiler(warmup_samples=2, override=0.25)
     policy = make_scaling(profiler=profiler)

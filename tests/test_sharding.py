@@ -1,0 +1,298 @@
+"""Sharded data-parallel loading semantics, across both substrates.
+
+Covers the DistributedSampler-style guarantees the lockstep DDP consumers
+rely on (equal-length ranks, per-epoch coverage, disjointness when the
+dataset divides evenly), the threaded ``MinatoLoader``'s termination with a
+sharded sampler (previously a deadlock: quotas were sized from the dataset
+while the feeder only fed the shard), and multi-rank agreement between the
+threaded engine and the discrete-event simulator.
+"""
+
+import threading
+
+import pytest
+
+from repro.clock import ThreadLocalClock
+from repro.core import MinatoConfig, MinatoLoader
+from repro.data.samplers import ShardedSampler
+from repro.sim.distributed import run_distributed
+from repro.sim.kernel import Environment
+from repro.sim.loaders import SimContext, SimMinatoLoader
+from repro.sim.workloads import CONFIG_A, WorkloadSpec, make_workload
+
+from .helpers import StubDataset, stub_pipeline
+
+DEADLOCK_TIMEOUT = 30.0  # wall seconds; generous, the runs take < 1 s
+
+
+# ---------------------------------------------------------------------------
+# ShardedSampler semantics
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n,world", [(100, 4), (103, 4), (7, 3), (5, 8)])
+def test_shards_equal_length_across_ranks_and_epochs(n, world):
+    shards = [ShardedSampler(n, rank=r, world_size=world, seed=3) for r in range(world)]
+    expected = (n + world - 1) // world
+    for epoch in range(3):
+        lengths = [len(s.epoch(epoch)) for s in shards]
+        assert lengths == [expected] * world
+        assert [len(s) for s in shards] == lengths
+
+
+@pytest.mark.parametrize("epoch", [0, 1, 5])
+def test_shards_disjoint_and_covering_when_evenly_divisible(epoch):
+    n, world = 120, 4
+    shards = [ShardedSampler(n, rank=r, world_size=world, seed=7) for r in range(world)]
+    slices = [s.epoch(epoch) for s in shards]
+    combined = [i for piece in slices for i in piece]
+    # disjoint: no index appears on two ranks; covering: all indices appear
+    assert len(combined) == len(set(combined)) == n
+    assert set(combined) == set(range(n))
+
+
+def test_padding_covers_and_duplicates_at_most_world_minus_one():
+    n, world = 103, 4
+    shards = [ShardedSampler(n, rank=r, world_size=world, seed=5) for r in range(world)]
+    combined = [i for s in shards for i in s.epoch(1)]
+    assert set(combined) == set(range(n))
+    duplicates = len(combined) - len(set(combined))
+    assert 0 < duplicates <= world - 1
+
+
+def test_drop_last_mode_is_exactly_disjoint_but_may_not_cover():
+    n, world = 103, 4
+    shards = [
+        ShardedSampler(n, rank=r, world_size=world, seed=5, drop_last=True)
+        for r in range(world)
+    ]
+    assert [len(s) for s in shards] == [n // world] * world
+    combined = [i for s in shards for i in s.epoch(0)]
+    assert len(combined) == len(set(combined))  # no duplicates
+    assert set(combined) < set(range(n))  # tail dropped
+    assert len(combined) == (n // world) * world
+
+
+def test_shards_share_the_global_shuffle():
+    """All ranks slice the *same* epoch shuffle, so the union of rank slices
+    taken in stride order reconstructs it."""
+    n, world = 12, 3
+    shards = [ShardedSampler(n, rank=r, world_size=world, seed=11) for r in range(world)]
+    slices = [s.epoch(4) for s in shards]
+    rebuilt = [slices[i % world][i // world] for i in range(n)]
+    from repro.data.samplers import RandomSampler
+
+    assert rebuilt == RandomSampler(n, seed=11).epoch(4)
+
+
+def test_shard_reshuffles_between_epochs():
+    s = ShardedSampler(64, rank=1, world_size=2, seed=1)
+    assert s.epoch(0) != s.epoch(1)
+    assert s.epoch(0) == s.epoch(0)
+
+
+# ---------------------------------------------------------------------------
+# Threaded MinatoLoader with a ShardedSampler (deadlock regression)
+# ---------------------------------------------------------------------------
+
+
+def _run_sharded_loader(rank, world, n_samples, epochs=2, batch_size=4):
+    """Consume a sharded loader on a watchdog thread; fail instead of hang."""
+    dataset = StubDataset([0.01] * n_samples)
+    sampler = ShardedSampler(n_samples, rank=rank, world_size=world, seed=2)
+    cfg = MinatoConfig(
+        batch_size=batch_size,
+        num_workers=2,
+        warmup_samples=4,
+        adaptive_workers=False,
+        seed=2,
+    )
+    loader = MinatoLoader(
+        dataset,
+        stub_pipeline(),
+        cfg,
+        epochs=epochs,
+        clock=ThreadLocalClock(),
+        sampler=sampler,
+    )
+    result = {}
+
+    def consume():
+        with loader:
+            result["indices"] = [
+                s.spec.index for batch in loader.batches(0) for s in batch.samples
+            ]
+
+    worker = threading.Thread(target=consume, daemon=True)
+    worker.start()
+    worker.join(timeout=DEADLOCK_TIMEOUT)
+    if worker.is_alive():
+        loader.shutdown(timeout=1.0)
+        pytest.fail(
+            f"MinatoLoader deadlocked with ShardedSampler(rank={rank}, "
+            f"world_size={world}, n={n_samples})"
+        )
+    return result["indices"], sampler
+
+
+@pytest.mark.parametrize("n_samples", [23, 24])
+def test_minato_loader_with_sharded_sampler_terminates(n_samples):
+    """Regression: _total_expected was sized from the dataset, so a sharded
+    feeder (which yields ~n/world samples) never satisfied the builders'
+    quota and consumption hung forever -- on odd and even sizes alike."""
+    indices, sampler = _run_sharded_loader(rank=0, world=2, n_samples=n_samples)
+    assert len(indices) == 2 * len(sampler)  # epochs * shard length
+
+
+def test_minato_loader_len_reflects_shard():
+    dataset = StubDataset([0.01] * 23)
+    sampler = ShardedSampler(23, rank=1, world_size=2, seed=2)
+    loader = MinatoLoader(
+        dataset,
+        stub_pipeline(),
+        MinatoConfig(batch_size=4, seed=2),
+        epochs=2,
+        clock=ThreadLocalClock(),
+        sampler=sampler,
+    )
+    # 2 epochs x 12 padded shard samples = 24 samples -> 6 batches of 4
+    assert len(loader) == 6
+
+
+def test_minato_ranks_cover_dataset_per_epoch():
+    n, world = 24, 2
+    per_rank = [
+        _run_sharded_loader(rank=r, world=world, n_samples=n, epochs=1)[0]
+        for r in range(world)
+    ]
+    combined = [i for indices in per_rank for i in indices]
+    assert len(combined) == len(set(combined)) == n
+    assert set(combined) == set(range(n))
+
+
+# ---------------------------------------------------------------------------
+# Multi-rank cross-substrate agreement
+# ---------------------------------------------------------------------------
+
+
+def _sim_rank_indices(rank, world, costs, batch_size=4):
+    env = Environment()
+    workload = WorkloadSpec(
+        name="shard-agreement",
+        dataset=StubDataset(costs),
+        pipeline=stub_pipeline(),
+        model=None,
+        batch_size=batch_size,
+        epochs=1,
+    )
+    ctx = SimContext(env, workload, CONFIG_A, num_gpus=1)
+    loader = SimMinatoLoader(
+        workers_per_gpu=1,
+        slow_workers=1,
+        timeout_override=0.05,
+        adaptive_workers=False,
+        seed=2,
+        shard_rank=rank,
+        shard_world_size=world,
+    )
+    loader.start(ctx)
+    got = []
+
+    def consumer():
+        while True:
+            batch = yield from loader.get_batch(0)
+            if batch is None:
+                return
+            got.extend(s.index for s in batch.specs)
+
+    env.run(until=env.process(consumer()))
+    return got
+
+
+def test_multi_rank_cross_substrate_agreement():
+    """Both substrates, run as `world` independent ranks over the same seed,
+    produce shard streams that are equal-length, disjoint and cover the
+    dataset -- and each rank processes the identical index *set* on both
+    substrates (the sampler layer is substrate-neutral)."""
+    n, world = 24, 2
+    costs = [0.01] * n
+    threaded = [
+        set(_run_sharded_loader(rank=r, world=world, n_samples=n, epochs=1)[0])
+        for r in range(world)
+    ]
+    simulated = [set(_sim_rank_indices(r, world, costs)) for r in range(world)]
+    assert threaded == simulated
+    for ranks in (threaded, simulated):
+        assert all(len(s) == n // world for s in ranks)
+        assert set().union(*ranks) == set(range(n))
+        assert not ranks[0] & ranks[1]
+
+
+# ---------------------------------------------------------------------------
+# run_distributed sharding invariants
+# ---------------------------------------------------------------------------
+
+
+def test_run_distributed_ranks_get_disjoint_equal_shards():
+    wl = make_workload("speech_3s", dataset_size=120).scaled(0.02)
+    result = run_distributed("minato", wl, CONFIG_A, nodes=3, gpus_per_node=1)
+    assert len(result.shard_sizes) == 3
+    assert len(set(result.shard_sizes)) == 1  # equal-length
+    assert sum(result.shard_sizes) == 120  # disjoint cover (120 % 3 == 0)
+    # the shards the runner reports match ShardedSampler's own arithmetic
+    assert result.shard_sizes[0] == len(ShardedSampler(120, rank=0, world_size=3))
+
+
+def test_sim_loader_rejects_world_without_rank():
+    """shard_world_size without shard_rank must fail fast, not silently
+    duplicate rank 0's shard on every node."""
+    from repro.errors import ConfigurationError
+
+    env = Environment()
+    workload = WorkloadSpec(
+        name="half-configured",
+        dataset=StubDataset([0.01] * 8),
+        pipeline=stub_pipeline(),
+        model=None,
+        batch_size=4,
+        epochs=1,
+    )
+    ctx = SimContext(env, workload, CONFIG_A, num_gpus=1)
+    loader = SimMinatoLoader(shard_world_size=2)
+    with pytest.raises(ConfigurationError):
+        loader.start(ctx)
+
+
+def test_sim_loader_rejects_sharded_iteration_budget_without_override():
+    """Iteration budgets are cluster-wide: a sharded rank that omits
+    total_batches_override would redundantly run the whole budget, so it
+    must fail fast instead."""
+    from repro.errors import ConfigurationError
+
+    wl = make_workload("speech_3s", dataset_size=120).scaled(0.02)
+    env = Environment()
+    ctx = SimContext(env, wl, CONFIG_A, num_gpus=1)
+    loader = SimMinatoLoader(shard_rank=0, shard_world_size=2)
+    with pytest.raises(ConfigurationError):
+        loader.start(ctx)
+
+
+def test_torch_sim_rejects_shard_smaller_than_one_batch():
+    """Regression: a shard smaller than the batch size under drop_last
+    yielded zero batches per epoch and the orchestrator spun forever
+    instead of surfacing the unsatisfiable budget."""
+    from repro.errors import ConfigurationError
+
+    wl = make_workload("speech_3s", dataset_size=120).scaled(0.02)
+    # 8 nodes -> 15-sample shards < batch_size 24 -> no full batch, ever
+    with pytest.raises(ConfigurationError):
+        run_distributed("pytorch", wl, CONFIG_A, nodes=8, gpus_per_node=1)
+
+
+def test_run_distributed_shares_cluster_step_budget():
+    """Iteration-budgeted workloads split the cluster-wide step budget
+    across ranks instead of every node redundantly running all of it."""
+    wl = make_workload("speech_3s", dataset_size=120).scaled(0.02)  # 20 iterations
+    result = run_distributed("minato", wl, CONFIG_A, nodes=2, gpus_per_node=2)
+    assert result.steps == 20  # ceil(20 / 4) per GPU x 4 GPUs
+    assert result.samples == 20 * wl.batch_size

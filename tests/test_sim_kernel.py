@@ -214,6 +214,81 @@ def test_interrupt_terminated_process_raises():
         proc.interrupt()
 
 
+def test_self_interrupt_raises():
+    """Regression: the guard compared the process's *wait target* against
+    the active process, so a process interrupting itself slipped past it
+    and corrupted its own resume state instead of raising."""
+    env = Environment()
+    log = []
+
+    def selfish():
+        proc = env.active_process
+        with pytest.raises(SimulationError):
+            proc.interrupt(cause="me")
+        log.append("guarded")
+        yield env.timeout(1)
+        log.append(env.now)
+
+    env.process(selfish())
+    env.run()
+    assert log == ["guarded", 1.0]
+
+
+def test_interrupting_the_process_waited_on_is_allowed():
+    """The broken guard also *wrongly* rejected interrupting a process that
+    is currently waiting on the interrupter: target-is-active is not
+    self-interruption."""
+    env = Environment()
+    log = []
+
+    def child():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            log.append(("child-interrupted", env.now, interrupt.cause))
+
+    def parent(child_proc):
+        yield env.timeout(5)
+        # child waits on its timeout; parent is active and interrupts it --
+        # legitimate, and distinct from child interrupting itself
+        child_proc.interrupt(cause="parent")
+        yield child_proc
+
+    child_proc = env.process(child())
+    env.process(parent(child_proc))
+    env.run()
+    assert log == [("child-interrupted", 5.0, "parent")]
+
+
+def test_interrupting_a_waiter_on_the_active_process():
+    """A process A waiting on process B may be interrupted *by* B: the old
+    guard compared A's target (B) to the active process (B) and raised."""
+    env = Environment()
+    log = []
+
+    def waiter(target_holder):
+        try:
+            yield target_holder[0]
+            log.append("target-finished")
+        except Interrupt as interrupt:
+            log.append(("interrupted-by", interrupt.cause, env.now))
+
+    def busy(waiter_holder):
+        yield env.timeout(3)
+        # waiter is blocked on *this* process; interrupt it anyway
+        waiter_holder[0].interrupt(cause="busy-proc")
+        yield env.timeout(10)
+
+    busy_holder = []
+    waiter_holder = []
+    busy_proc = env.process(busy(waiter_holder))
+    busy_holder.append(busy_proc)
+    waiter_proc = env.process(waiter(busy_holder))
+    waiter_holder.append(waiter_proc)
+    env.run()
+    assert log == [("interrupted-by", "busy-proc", 3.0)]
+
+
 def test_interrupted_process_can_continue():
     env = Environment()
     log = []
