@@ -6,3 +6,10 @@ from repro.experiments import distributed
 def test_distributed(run_experiment):
     report = run_experiment(distributed.run)
     assert report.data["results"]
+
+
+def test_distributed_elastic(run_experiment):
+    """Elastic membership (churn/failure) on the modelled ring fabric."""
+    report = run_experiment(distributed.run_elastic_experiment)
+    assert report.data["results"]
+    assert report.data["fabric_runs"]

@@ -3,6 +3,7 @@
     python -m repro list                      # show available experiments
     python -m repro run fig7 [--scale 0.2]    # run one experiment
     python -m repro run all --output results/ # run everything, save reports
+    python -m repro distributed [--elastic]   # distributed scaling / churn
     python -m repro report [--scale 0.2]      # (re)generate EXPERIMENTS.md
 """
 
@@ -49,6 +50,19 @@ def _cmd_run(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_distributed(args) -> int:
+    """Shortcut for the distributed experiments: ``--elastic`` runs the
+    churn/failure membership scenarios on the modelled ring fabric."""
+    experiment_id = "distributed_elastic" if args.elastic else "distributed"
+    runner = REGISTRY[experiment_id]
+    result = runner(scale=args.scale) if args.scale is not None else runner()
+    print(result.render())
+    if args.output:
+        path = result.save(args.output)
+        print(f"saved {path}", file=sys.stderr)
+    return 0 if result.all_passed else 1
+
+
 def _cmd_report(args) -> int:
     report_module.main(
         (["--scale", str(args.scale)] if args.scale is not None else [])
@@ -68,6 +82,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument("--scale", type=float, default=None)
     run_parser.add_argument("--output", default=None, help="directory for reports")
 
+    dist_parser = sub.add_parser(
+        "distributed", help="multi-node scaling / elastic-membership runs"
+    )
+    dist_parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help="run the elastic churn/failure scenarios on the ring fabric",
+    )
+    dist_parser.add_argument("--scale", type=float, default=None)
+    dist_parser.add_argument("--output", default=None, help="directory for reports")
+
     report_parser = sub.add_parser("report", help="generate EXPERIMENTS.md")
     report_parser.add_argument("--scale", type=float, default=None)
     report_parser.add_argument("--output", default="EXPERIMENTS.md")
@@ -77,6 +102,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "distributed":
+        return _cmd_distributed(args)
     return _cmd_report(args)
 
 

@@ -7,7 +7,7 @@ loaders is what happens *after* the indices are drawn.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -74,6 +74,11 @@ class ShardedSampler:
 
     When ``n`` divides evenly by ``world_size`` the two modes coincide and
     the shards are disjoint, equal-length and cover the dataset.
+
+    ``epoch_offset`` shifts which global shuffle ``epoch(i)`` resolves to
+    (``i + epoch_offset``): an elastic cluster that re-creates its samplers
+    mid-training uses it so the re-derived shards keep walking forward
+    through fresh shuffles instead of replaying shuffle 0.
     """
 
     def __init__(
@@ -83,15 +88,21 @@ class ShardedSampler:
         world_size: int,
         seed: int = 0,
         drop_last: bool = False,
+        epoch_offset: int = 0,
     ) -> None:
         if world_size < 1:
             raise ConfigurationError(f"world_size must be >= 1, got {world_size!r}")
         if not 0 <= rank < world_size:
             raise ConfigurationError(f"rank {rank} out of range for {world_size}")
+        if epoch_offset < 0:
+            raise ConfigurationError(f"epoch_offset must be >= 0, got {epoch_offset!r}")
+        self._n = n
+        self._seed = seed
         self._inner = RandomSampler(n, seed=seed)
         self._rank = rank
         self._world_size = world_size
         self._drop_last = drop_last
+        self._epoch_offset = epoch_offset
         if drop_last:
             self._num_samples = n // world_size
         else:
@@ -110,6 +121,19 @@ class ShardedSampler:
         return self._drop_last
 
     @property
+    def dataset_size(self) -> int:
+        """Size of the underlying dataset (before pad/drop)."""
+        return self._n
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def epoch_offset(self) -> int:
+        return self._epoch_offset
+
+    @property
     def total_size(self) -> int:
         """Global samples per epoch across all ranks (after pad/drop)."""
         return self._num_samples * self._world_size
@@ -118,8 +142,38 @@ class ShardedSampler:
         """Per-rank samples per epoch -- identical on every rank."""
         return self._num_samples
 
+    def reshard(
+        self,
+        world_size: int,
+        rank: int,
+        epoch_offset: Optional[int] = None,
+    ) -> "ShardedSampler":
+        """Re-derive this sampler for a new cluster membership.
+
+        Elastic training re-shards at epoch boundaries: every surviving
+        (or joining) rank gets a sampler over the *same* dataset, seed and
+        tail policy but a new ``(rank, world_size)`` slot.  Because all
+        ranks of the new world still slice the same seeded global shuffle,
+        the disjoint / equal-length / cover invariants hold for the new
+        membership exactly as they did for the old one.
+
+        ``epoch_offset`` (default: keep the current offset) realigns
+        ``epoch(0)`` to the cluster's next global epoch so shuffles are not
+        replayed after the re-shard.
+        """
+        return ShardedSampler(
+            self._n,
+            rank=rank,
+            world_size=world_size,
+            seed=self._seed,
+            drop_last=self._drop_last,
+            epoch_offset=(
+                self._epoch_offset if epoch_offset is None else epoch_offset
+            ),
+        )
+
     def epoch(self, epoch_index: int) -> List[int]:
-        order = self._inner.epoch(epoch_index)
+        order = self._inner.epoch(epoch_index + self._epoch_offset)
         total = self.total_size
         if self._drop_last:
             order = order[:total]

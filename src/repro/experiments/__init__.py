@@ -49,6 +49,7 @@ REGISTRY: Dict[str, Callable[[], ExperimentReport]] = {
     # extensions beyond the paper (§6 discussion, DESIGN.md ablations)
     "ablations": ablations.run,
     "distributed": distributed.run,
+    "distributed_elastic": distributed.run_elastic_experiment,
 }
 
 __all__ = [

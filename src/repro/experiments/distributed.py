@@ -1,4 +1,4 @@
-"""Distributed-training scaling experiment (paper §6 discussion).
+"""Distributed-training scaling and elastic-membership experiments (paper §6).
 
 The paper states MinatoLoader "generalizes for distributed training with
 multiple nodes and GPUs": each node's loader keeps its preprocessing and
@@ -28,11 +28,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import render_table
 from ..data.storage import StorageSpec
-from ..sim.distributed import AllReduceModel, DistributedResult, run_distributed
-from ..sim.workloads import CONFIG_A, HardwareConfig, make_workload
+from ..sim.distributed import (
+    AllReduceModel,
+    ClusterMembership,
+    DistributedResult,
+    MembershipEvent,
+    run_distributed,
+    run_elastic,
+)
+from ..sim.workloads import CONFIG_A, HardwareConfig, WorkloadSpec, make_workload
 from .common import ExperimentReport, default_scale
 
-__all__ = ["run", "main", "straggler_config"]
+__all__ = ["run", "run_elastic_experiment", "main", "straggler_config"]
 
 
 def straggler_config(base: HardwareConfig) -> HardwareConfig:
@@ -186,8 +193,225 @@ def run(
     return report
 
 
+# ---------------------------------------------------------------------------
+# Elastic membership + modelled fabric
+# ---------------------------------------------------------------------------
+
+
+def _elastic_workload(scale: float) -> WorkloadSpec:
+    """An epoch-based Speech-3s variant: elastic re-sharding is an
+    epoch-boundary mechanism, so coverage claims need epoch semantics."""
+    base = make_workload("speech_3s", dataset_size=max(96, round(2400 * scale)))
+    return replace(base, iterations=None, epochs=3)
+
+
+def run_elastic_experiment(
+    scale: Optional[float] = None,
+    nodes: int = 4,
+    gpus_per_node: int = 2,
+) -> ExperimentReport:
+    """Elastic distributed training: churn/failure x {minato, pytorch} on
+    the modelled ring fabric, plus fabric-vs-analytic cross-checks."""
+    scale = scale if scale is not None else default_scale()
+    report = ExperimentReport(
+        experiment_id="distributed_elastic",
+        title=(
+            "Extension: elastic cluster membership on a modelled ring "
+            "fabric (paper §6)"
+        ),
+        scale=scale,
+    )
+    workload = _elastic_workload(scale)
+    n_samples = len(workload.dataset)
+    allreduce = AllReduceModel()
+    joiner = nodes  # first free node id
+    scenarios = {
+        "static": ClusterMembership(nodes),
+        # lose a node at the epoch-1 boundary, gain a fresh one at epoch 2
+        "churn": ClusterMembership(
+            nodes,
+            [
+                MembershipEvent("leave", nodes - 1, epoch=1),
+                MembershipEvent("join", joiner, epoch=2),
+            ],
+        ),
+        # abrupt mid-epoch death: the ring re-forms, the lost shard is
+        # re-covered by the next boundary's re-shard
+        "failure": ClusterMembership(
+            nodes, [MembershipEvent("fail", nodes - 1, epoch=1, after=0.5)]
+        ),
+    }
+
+    results: Dict[Tuple[str, str], DistributedResult] = {}
+    rows = []
+    for loader in ("pytorch", "minato"):
+        for arm, membership in scenarios.items():
+            result = run_elastic(
+                loader,
+                workload,
+                CONFIG_A,
+                membership,
+                gpus_per_node=gpus_per_node,
+                allreduce=allreduce,
+                fabric="ring",
+            )
+            results[(loader, arm)] = result
+            rows.append(
+                (
+                    loader,
+                    arm,
+                    "->".join(str(len(m)) for m in result.epoch_membership),
+                    f"{result.training_time:.1f}",
+                    f"{result.gpu_utilization * 100:.1f}",
+                    "/".join(str(c) for c in result.epoch_coverage),
+                )
+            )
+    report.body = render_table(
+        [
+            "loader",
+            "arm",
+            "nodes/epoch",
+            "time (s)",
+            "GPU %",
+            f"coverage (of {n_samples})",
+        ],
+        rows,
+        title=(
+            f"Speech-3s (epochs={workload.epochs}, {n_samples} samples), "
+            f"{nodes} nodes x {gpus_per_node} GPUs, ring fabric:"
+        ),
+    )
+    report.data["results"] = results
+
+    # -- elastic coverage invariants --------------------------------------
+    for loader in ("pytorch", "minato"):
+        static = results[(loader, "static")]
+        churn = results[(loader, "churn")]
+        failure = results[(loader, "failure")]
+        report.check(
+            f"{loader}: every epoch of a static cluster covers the dataset",
+            all(c == n_samples for c in static.epoch_coverage),
+            f"coverage {static.epoch_coverage} of {n_samples}",
+        )
+        report.check(
+            f"{loader}: churn re-shards at epoch boundaries and still "
+            f"covers every sample each epoch",
+            all(c == n_samples for c in churn.epoch_coverage)
+            and [len(m) for m in churn.epoch_membership]
+            == [nodes, nodes - 1, nodes],
+            f"membership {churn.epoch_membership}, "
+            f"coverage {churn.epoch_coverage}",
+        )
+        report.check(
+            f"{loader}: a mid-epoch failure loses only that epoch's shard "
+            f"remainder; the next re-shard fully re-covers",
+            failure.epoch_coverage[1] < n_samples
+            and failure.epoch_coverage[2] == n_samples,
+            f"coverage {failure.epoch_coverage} of {n_samples}",
+        )
+    churn = results[("minato", "churn")]
+    expected_sizes = [
+        [(n_samples + len(m) - 1) // len(m)] * len(m)
+        for m in churn.epoch_membership
+    ]
+    report.check(
+        "re-derived shards stay equal-length per epoch "
+        "(DistributedSampler padding under every membership)",
+        churn.epoch_shard_sizes == expected_sizes,
+        f"{churn.epoch_shard_sizes}",
+    )
+    departed = nodes - 1
+    idx = churn.node_ids.index(departed)
+    report.check(
+        "a departed node is reported over its own active window, not the "
+        "full run (per-epoch membership accounting)",
+        churn.per_node_active_seconds[idx] < churn.training_time * 0.75,
+        f"node {departed}: {churn.per_node_active_seconds[idx]:.1f}s of "
+        f"{churn.training_time:.1f}s",
+    )
+
+    # -- Minato's advantage survives churn --------------------------------
+    for arm in scenarios:
+        speedup = (
+            results[("pytorch", arm)].training_time
+            / results[("minato", arm)].training_time
+        )
+        report.check(
+            f"{arm}: Minato advantage persists under elastic membership",
+            speedup >= 1.5,
+            f"pytorch/minato = {speedup:.2f}x",
+        )
+
+    # -- fabric-vs-analytic cross-checks ----------------------------------
+    iter_workload = make_workload("speech_3s", dataset_size=n_samples).scaled(
+        max(scale, 0.03)
+    )
+    steps_per_gpu = max(
+        4, iter_workload.iterations // (nodes * gpus_per_node)
+    )
+    fabric_runs = {
+        fabric: run_distributed(
+            "minato",
+            iter_workload,
+            CONFIG_A,
+            nodes=nodes,
+            gpus_per_node=gpus_per_node,
+            allreduce=allreduce,
+            steps_per_gpu=steps_per_gpu,
+            fabric=fabric,
+        )
+        for fabric in ("analytic", "ring")
+    }
+    report.data["fabric_runs"] = fabric_runs
+    ratio = (
+        fabric_runs["ring"].training_time
+        / fabric_runs["analytic"].training_time
+    )
+    report.check(
+        "modelled ring fabric matches the analytic ring model on a "
+        "homogeneous static cluster (within 5%)",
+        abs(ratio - 1.0) <= 0.05,
+        f"ring/analytic training time = {ratio:.3f}",
+    )
+    straggler_hw = [CONFIG_A] * (nodes - 1) + [straggler_config(CONFIG_A)]
+    straggler_runs = {
+        fabric: run_distributed(
+            "minato",
+            iter_workload,
+            CONFIG_A,
+            nodes=nodes,
+            gpus_per_node=gpus_per_node,
+            allreduce=allreduce,
+            steps_per_gpu=steps_per_gpu,
+            node_hardware=straggler_hw,
+            fabric=fabric,
+        )
+        for fabric in ("analytic", "ring")
+    }
+    report.data["straggler_runs"] = straggler_runs
+    closed_form = allreduce.step_cost(nodes * gpus_per_node)
+    analytic_sync = (
+        straggler_runs["analytic"].sync_seconds_total
+        / straggler_runs["analytic"].steps
+    )
+    ring_sync = (
+        straggler_runs["ring"].sync_seconds_total / straggler_runs["ring"].steps
+    )
+    report.check(
+        "under a straggler the modelled fabric shows neighbor-delay "
+        "(per-step sync wait far above the closed form), which the "
+        "analytic model cannot express",
+        ring_sync > 2.0 * closed_form
+        and abs(analytic_sync - closed_form) < 1e-9,
+        f"ring {ring_sync * 1000:.1f} ms/step vs closed form "
+        f"{closed_form * 1000:.1f} ms/step",
+    )
+    return report
+
+
 def main() -> None:
     print(run().render())
+    print(run_elastic_experiment().render())
 
 
 if __name__ == "__main__":

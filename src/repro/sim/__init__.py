@@ -7,11 +7,13 @@ workload specifications matching the paper's Table 1/Table 2
 (:mod:`repro.sim.loaders`) and the experiment runner (:mod:`repro.sim.runner`).
 """
 
+from .fabric import RingFabric
 from .kernel import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
 from .resources import BandwidthPipe, Request, Resource
 from .stores import PriorityStore, Store
 
 __all__ = [
+    "RingFabric",
     "Environment",
     "Event",
     "Timeout",

@@ -7,9 +7,16 @@ over unchanged, with gradient synchronization coupling the nodes per step.
 
 This module simulates that setting: ``nodes`` machines (identical by
 default, optionally heterogeneous via ``node_hardware``), each with its own
-storage, CPU pool and GPUs, plus a cluster-wide all-reduce barrier per
-training step whose cost grows with the world size (ring all-reduce:
-latency term x 2(world-1)/world plus a bandwidth term).
+storage, CPU pool and GPUs, plus per-step gradient synchronization across
+the cluster.  Synchronization comes in two fidelities:
+
+* ``fabric="analytic"`` -- a per-step barrier plus the closed-form ring
+  all-reduce cost (:meth:`AllReduceModel.step_cost`), identical for every
+  rank; cheap, but stragglers and failures are averaged away;
+* ``fabric="ring"`` -- the modelled :class:`~repro.sim.fabric.RingFabric`:
+  per-link simulated transfers over 2(W-1) ring stages, so a late rank
+  delays its ring *neighbors* first and a mid-step failure stalls the ring
+  only until the failure detector fires.
 
 The dataset is *sharded* across nodes with
 :class:`~repro.data.samplers.ShardedSampler` semantics: each node's loader
@@ -18,32 +25,45 @@ samples a disjoint, equal-length slice of every epoch's global shuffle
 cluster collectively covers the dataset once per epoch instead of every
 node redundantly processing all of it.
 
-The claim validated by :func:`repro.experiments.distributed.run`: Minato's
-advantage over the PyTorch loader persists as nodes are added, because the
-bottleneck it removes is node-local.
+:func:`run_distributed` runs a *static* cluster; :func:`run_elastic` runs a
+:class:`ClusterMembership` schedule of join/leave/fail events with
+epoch-boundary re-sharding (every surviving node's sampler is re-derived via
+``ShardedSampler.reshard``) and, for iteration-budgeted workloads, re-splits
+the remaining cluster-wide step budget across the surviving membership.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from math import ceil
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..data.samplers import ShardedSampler
 from ..engine.metrics import average_utilization
 from ..errors import ConfigurationError
-from .kernel import AllOf, Environment
+from .fabric import RingFabric
+from .kernel import AllOf, Environment, Interrupt
 from .loaders import SimContext
 from .runner import make_sim_loader
 from .workloads import HardwareConfig, WorkloadSpec
 
-__all__ = ["AllReduceModel", "DistributedResult", "run_distributed"]
+__all__ = [
+    "AllReduceModel",
+    "ClusterMembership",
+    "DistributedResult",
+    "MembershipEvent",
+    "run_distributed",
+    "run_elastic",
+]
+
+FABRICS = ("analytic", "ring")
 
 
 @dataclass(frozen=True)
 class AllReduceModel:
     """Per-step gradient synchronization cost across the whole cluster."""
 
-    #: per-step base latency of one ring stage (network RTT-ish)
+    #: per-hop latency of one ring stage (network RTT-ish)
     latency: float = 0.0015
     #: gradient bytes exchanged per step
     gradient_bytes: float = 400e6
@@ -51,17 +71,202 @@ class AllReduceModel:
     bandwidth: float = 25e9  # 200 Gb/s
 
     def step_cost(self, world_size: int) -> float:
+        """Closed-form ring all-reduce: 2(W-1) stages, each one hop of
+        latency plus one gradient chunk (``gradient_bytes / W``) over the
+        per-rank link.  This is exactly what the modelled
+        :class:`~repro.sim.fabric.RingFabric` converges to on a homogeneous
+        cluster where every rank enters the collective together."""
         if world_size <= 1:
             return 0.0
-        ring_fraction = 2.0 * (world_size - 1) / world_size
-        return self.latency * (world_size - 1) + ring_fraction * (
-            self.gradient_bytes / self.bandwidth
+        stages = 2 * (world_size - 1)
+        return stages * (
+            self.latency + self.gradient_bytes / (world_size * self.bandwidth)
         )
+
+    def make_fabric(
+        self, env: Environment, detection_timeout: float = 1.0
+    ) -> RingFabric:
+        """A modelled ring fabric with this model's link parameters."""
+        return RingFabric(
+            env,
+            latency=self.latency,
+            bandwidth=self.bandwidth,
+            gradient_bytes=self.gradient_bytes,
+            detection_timeout=detection_timeout,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Elastic membership schedule
+# ---------------------------------------------------------------------------
+
+EVENT_KINDS = ("join", "leave", "fail")
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One membership change, anchored in virtual time or at an epoch.
+
+    * ``kind="join"``: the node becomes available and starts participating
+      (with a freshly derived shard) at the next epoch boundary;
+    * ``kind="leave"``: graceful departure -- the node finishes its current
+      epoch and is excluded from the re-shard at the anchor boundary;
+    * ``kind="fail"``: abrupt mid-epoch death ``after`` virtual seconds into
+      the anchored epoch (or at absolute ``time``): the node's GPU processes
+      are interrupted, its loader halted, and its in-flight ring chunks are
+      filled in by the failure detector so neighbors stall but never
+      deadlock.  Its unconsumed shard remainder is lost for that epoch and
+      re-covered by the next boundary's re-shard.
+    """
+
+    kind: str
+    node: int
+    #: anchor at this epoch (applied at its start boundary; fails fire
+    #: ``after`` seconds into it)
+    epoch: Optional[int] = None
+    #: anchor at this absolute virtual time
+    time: Optional[float] = None
+    #: fail only: virtual seconds into the anchored epoch
+    after: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"kind must be one of {EVENT_KINDS}, got {self.kind!r}"
+            )
+        if self.node < 0:
+            raise ConfigurationError(f"node must be >= 0, got {self.node!r}")
+        if (self.epoch is None) == (self.time is None):
+            raise ConfigurationError(
+                "exactly one of epoch / time must anchor a membership event"
+            )
+        if self.epoch is not None and self.epoch < 0:
+            raise ConfigurationError(f"epoch must be >= 0, got {self.epoch!r}")
+        if self.time is not None and self.time < 0:
+            raise ConfigurationError(f"time must be >= 0, got {self.time!r}")
+        if self.after < 0:
+            raise ConfigurationError(f"after must be >= 0, got {self.after!r}")
+        if self.after > 0 and self.kind != "fail":
+            raise ConfigurationError(
+                "after is only meaningful for fail events (join/leave apply "
+                "at epoch boundaries)"
+            )
+        if self.after > 0 and self.time is not None:
+            raise ConfigurationError(
+                "after offsets an epoch anchor; with an absolute time "
+                "anchor, fold the offset into time itself"
+            )
+
+
+class ClusterMembership:
+    """A cluster's initial size plus its schedule of membership events.
+
+    Nodes are integer ids; the initial cluster is ``0..initial_nodes-1`` and
+    join events introduce new ids.  The same node id may appear in at most
+    one join and at most one leave/fail (a node's lifetime is one interval;
+    re-joining hardware is a new node id).
+    """
+
+    def __init__(
+        self, initial_nodes: int, events: Sequence[MembershipEvent] = ()
+    ) -> None:
+        if initial_nodes < 1:
+            raise ConfigurationError(
+                f"initial_nodes must be >= 1, got {initial_nodes!r}"
+            )
+        self.initial_nodes = initial_nodes
+        self.events: Tuple[MembershipEvent, ...] = tuple(events)
+        initial = set(range(initial_nodes))
+        joined: Set[int] = set()
+        removed: Set[int] = set()
+        for event in self.events:
+            if event.kind == "join":
+                if event.node in initial or event.node in joined:
+                    raise ConfigurationError(
+                        f"node {event.node} joins twice (or is an initial node)"
+                    )
+                joined.add(event.node)
+            else:
+                if event.node not in initial | joined:
+                    raise ConfigurationError(
+                        f"{event.kind} targets unknown node {event.node}"
+                    )
+                if event.node in removed:
+                    raise ConfigurationError(
+                        f"node {event.node} leaves/fails twice"
+                    )
+                removed.add(event.node)
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Every node id that is ever part of the cluster."""
+        ids = set(range(self.initial_nodes))
+        ids.update(e.node for e in self.events if e.kind == "join")
+        return sorted(ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterMembership(initial_nodes={self.initial_nodes}, "
+            f"events={list(self.events)!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Synchronization helpers
+# ---------------------------------------------------------------------------
+
+
+class _MemberBarrier:
+    """Per-step barrier over an explicit member set (analytic fabric).
+
+    Arrivals are tracked per member, so removing a member -- failure,
+    under-delivery, or graceful early exit -- releases exactly the barriers
+    its absence now satisfies and never double-counts a dead rank's past
+    arrival: a removed rank can stall survivors, never deadlock them.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._members: Set = set()
+        self._state: Dict = {}
+
+    def set_members(self, members) -> None:
+        self._members = set(members)
+
+    def arrive(self, key, member):
+        entry = self._state.get(key)
+        if entry is None:
+            entry = [self.env.event(), set()]
+            self._state[key] = entry
+        entry[1].add(member)
+        if self._members <= entry[1]:
+            entry[0].succeed()
+            self._state.pop(key, None)
+        return entry[0]
+
+    def remove(self, member) -> None:
+        self._members.discard(member)
+        for key, entry in list(self._state.items()):
+            if self._members <= entry[1]:
+                entry[0].succeed()
+                self._state.pop(key, None)
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
 
 
 @dataclass
 class DistributedResult:
-    """Outcome of one multi-node simulated run."""
+    """Outcome of one multi-node simulated run.
+
+    Static runs report one constant membership; elastic runs fill the
+    per-epoch fields (``epoch_membership`` / ``epoch_shard_sizes`` /
+    ``epoch_coverage``) because the node list is *not* constant: a node that
+    left mid-run appears in the epochs it participated in and its
+    utilization is measured over its own active window, not the full run.
+    """
 
     loader: str
     workload: str
@@ -74,17 +279,41 @@ class DistributedResult:
     gpu_utilization: float
     #: mean CPU utilization across nodes
     cpu_utilization: float
+    #: total seconds ranks spent synchronizing gradients; in ring-fabric
+    #: mode this includes time waiting on late ring neighbors (that wait is
+    #: the coupling the fabric models), in analytic mode it is steps x the
+    #: closed-form cost
     sync_seconds_total: float = 0.0
     #: per-node samples per epoch, measured from each loader's own sampler
+    #: (elastic runs: the *final* epoch's shards; see epoch_shard_sizes)
     shard_sizes: List[int] = field(default_factory=list)
-    #: per-node mean CPU utilization (exposes stragglers)
+    #: per-node mean CPU utilization (exposes stragglers); aligned with
+    #: node_ids and measured over each node's own active window
     per_node_cpu_utilization: List[float] = field(default_factory=list)
     #: per-node hardware config names (heterogeneous-cluster runs)
     node_hardware_names: List[str] = field(default_factory=list)
+    #: which synchronization fabric the run used ("analytic" or "ring")
+    fabric: str = "analytic"
+    #: every node id that ever participated (aligned with per-node lists)
+    node_ids: List[int] = field(default_factory=list)
+    #: seconds each node was part of the cluster (aligned with node_ids)
+    per_node_active_seconds: List[float] = field(default_factory=list)
+    #: node ids active in each epoch (elastic runs)
+    epoch_membership: List[List[int]] = field(default_factory=list)
+    #: per-epoch shard sizes, aligned with epoch_membership (elastic runs)
+    epoch_shard_sizes: List[List[int]] = field(default_factory=list)
+    #: distinct dataset samples consumed in each epoch (elastic runs); a
+    #: fully covered epoch equals the dataset size
+    epoch_coverage: List[int] = field(default_factory=list)
 
     @property
     def world_size(self) -> int:
         return self.nodes * self.gpus_per_node
+
+
+# ---------------------------------------------------------------------------
+# Static cluster
+# ---------------------------------------------------------------------------
 
 
 def run_distributed(
@@ -97,6 +326,7 @@ def run_distributed(
     loader_kwargs: Optional[dict] = None,
     steps_per_gpu: Optional[int] = None,
     node_hardware: Optional[Sequence[HardwareConfig]] = None,
+    fabric: str = "analytic",
 ) -> DistributedResult:
     """Simulate data-parallel training across ``nodes`` machines.
 
@@ -104,15 +334,22 @@ def run_distributed(
     storage, page cache, CPU cores, GPUs) over *its rank's shard* of the
     dataset -- disjoint, equal-length slices of each epoch's global
     shuffle.  Training is synchronous: all GPUs in the cluster execute
-    step ``k``, then join a cluster-wide all-reduce before step ``k+1`` --
-    DDP semantics.
+    step ``k``, then synchronize gradients before step ``k+1`` -- DDP
+    semantics.  ``fabric`` selects the synchronization model: the analytic
+    closed form behind a barrier, or the modelled per-link ring
+    (:class:`~repro.sim.fabric.RingFabric`), under which a straggler delays
+    its ring neighbors instead of being averaged away.
 
     ``node_hardware`` (one config per node) models heterogeneous clusters:
     a node with fewer CPU cores or slower storage becomes a straggler whose
-    tail latency the per-step barrier imposes on every other rank.
+    tail latency the per-step synchronization imposes on every other rank.
     """
     if nodes < 1:
         raise ConfigurationError(f"nodes must be >= 1, got {nodes!r}")
+    if fabric not in FABRICS:
+        raise ConfigurationError(
+            f"fabric must be one of {FABRICS}, got {fabric!r}"
+        )
     if node_hardware is not None and len(node_hardware) != nodes:
         raise ConfigurationError(
             f"node_hardware must list one config per node: "
@@ -141,6 +378,12 @@ def run_distributed(
             steps_per_gpu = max(1, (workload.iterations + world - 1) // world)
 
     env = Environment()
+    ring: Optional[RingFabric] = None
+    if fabric == "ring":
+        ring = allreduce.make_fabric(env)
+        ring.set_ring(
+            [(node, gpu) for node in range(nodes) for gpu in range(gpus_per_node)]
+        )
     contexts: List[SimContext] = []
     loaders = []
     measured_shards: List[int] = []
@@ -165,26 +408,23 @@ def run_distributed(
     sync_cost = allreduce.step_cost(world)
 
     counters = {"steps": 0, "samples": 0, "sync": 0.0}
-    # per-step barrier: each participant arrives, the last one releases all
-    barrier_state: Dict[int, List] = {}
-
-    def arrive(step_index: int):
-        event = barrier_state.get(step_index)
-        if event is None:
-            event = [env.event(), 0]
-            barrier_state[step_index] = event
-        event[1] += 1
-        if event[1] == world:
-            event[0].succeed()
-            barrier_state.pop(step_index, None)
-        return event[0]
+    barrier = _MemberBarrier(env)
+    barrier.set_members(
+        [(node, gpu) for node in range(nodes) for gpu in range(gpus_per_node)]
+    )
 
     def gpu_proc(node: int, gpu: int):
         ctx = contexts[node]
         loader = loaders[node]
+        member = (node, gpu)
         for step_index in range(steps_per_gpu):
             batch = yield from loader.get_batch(gpu)
             if batch is None:
+                # under-delivery must degrade the sync, not deadlock it
+                if ring is not None:
+                    ring.leave(member)
+                else:
+                    barrier.remove(member)
                 return
             step = workload.model.step_time(
                 batch.size, node_hw[node].gpu_type, world_size=1
@@ -193,11 +433,15 @@ def run_distributed(
             counters["steps"] += 1
             counters["samples"] += batch.size
             if world > 1:
-                barrier = arrive(step_index)
-                yield barrier
-                if sync_cost > 0:
-                    yield env.timeout(sync_cost)
-                    counters["sync"] += sync_cost
+                if ring is not None:
+                    entered = env.now
+                    yield from ring.allreduce(step_index, member)
+                    counters["sync"] += env.now - entered
+                else:
+                    yield barrier.arrive(step_index, member)
+                    if sync_cost > 0:
+                        yield env.timeout(sync_cost)
+                        counters["sync"] += sync_cost
 
     procs = [
         env.process(gpu_proc(node, gpu))
@@ -234,4 +478,422 @@ def run_distributed(
         shard_sizes=measured_shards,
         per_node_cpu_utilization=cpu_utils,
         node_hardware_names=[hw.name for hw in node_hw],
+        fabric=fabric,
+        node_ids=list(range(nodes)),
+        per_node_active_seconds=[duration] * nodes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Elastic cluster
+# ---------------------------------------------------------------------------
+
+
+def run_elastic(
+    loader_name: str,
+    workload: WorkloadSpec,
+    hardware: HardwareConfig,
+    membership: ClusterMembership,
+    gpus_per_node: int = 1,
+    allreduce: Optional[AllReduceModel] = None,
+    loader_kwargs: Optional[dict] = None,
+    epochs: Optional[int] = None,
+    node_hardware: Optional[Dict[int, HardwareConfig]] = None,
+    fabric: str = "ring",
+    detection_timeout: float = 1.0,
+) -> DistributedResult:
+    """Simulate elastic data-parallel training over a membership schedule.
+
+    Execution is epoch-wise.  At each epoch boundary the pending join/leave
+    events are applied and every member's
+    :class:`~repro.data.samplers.ShardedSampler` is re-derived for the new
+    membership via ``reshard(world_size, rank)`` -- so each epoch the
+    surviving cluster again covers the dataset with disjoint, equal-length
+    shards -- and each node's loader is re-created on its new shard with
+    :meth:`~repro.sim.loaders.BaseSimLoader.rebind_shard` (cost memos are
+    shared, DistributedSampler re-creation semantics).  Fail events fire
+    *mid-epoch*: the node's GPU processes are interrupted, its loader is
+    halted, and the synchronization fabric is told to abort its ranks so
+    the survivors stall at most ``detection_timeout``, never forever.
+
+    Epoch-based workloads run ``workload.epochs`` epochs (override with
+    ``epochs``).  Iteration-based workloads fix a *cluster-wide* step
+    budget: each boundary re-splits the remaining budget across the current
+    membership, so a shrunken cluster runs more rounds rather than losing
+    steps.
+
+    ``node_hardware`` maps node id -> config (joining nodes included);
+    unlisted nodes run ``hardware``.
+    """
+    if fabric not in FABRICS:
+        raise ConfigurationError(
+            f"fabric must be one of {FABRICS}, got {fabric!r}"
+        )
+    if gpus_per_node < 1:
+        raise ConfigurationError(
+            f"gpus_per_node must be >= 1, got {gpus_per_node!r}"
+        )
+    allreduce = allreduce if allreduce is not None else AllReduceModel()
+    base_kwargs = dict(loader_kwargs or {})
+    for key in ("shard_rank", "shard_world_size", "total_batches_override"):
+        base_kwargs.pop(key, None)
+    seed = base_kwargs.get("seed", 0)
+    hw_map = dict(node_hardware or {})
+
+    def hw_for(node: int) -> HardwareConfig:
+        return hw_map.get(node, hardware)
+
+    n_samples = len(workload.dataset)
+    batch_size = workload.batch_size
+    if epochs is not None and workload.iterations is not None:
+        raise ConfigurationError(
+            "epochs override requires an epoch-based workload; rebuild the "
+            "workload with epochs instead of iterations (loader tail "
+            "semantics differ between the two budgets)"
+        )
+    epoch_mode = workload.epochs is not None or epochs is not None
+    total_epochs = epochs if epochs is not None else workload.epochs
+    remaining_steps = None if epoch_mode else workload.iterations
+
+    env = Environment()
+    ring: Optional[RingFabric] = None
+    if fabric == "ring":
+        ring = allreduce.make_fabric(env, detection_timeout=detection_timeout)
+
+    # one template loader: every per-(node, epoch) clone shares its
+    # per-sample cost memos
+    template = make_sim_loader(loader_name, **base_kwargs)
+
+    active: List[int] = list(range(membership.initial_nodes))
+    samplers: Dict[int, ShardedSampler] = {}
+    contexts: Dict[int, SimContext] = {}
+    activated_at: Dict[int, float] = {}
+    deactivated_at: Dict[int, float] = {}
+    consumed: Set[int] = set()
+
+    counters = {"steps": 0, "samples": 0, "sync": 0.0}
+    epoch_membership: List[List[int]] = []
+    epoch_shard_sizes: List[List[int]] = []
+    epoch_coverage: List[int] = []
+
+    # analytic fabric: a removal-aware barrier (a failed or early-exiting
+    # rank must release the survivors, not deadlock them)
+    barrier = _MemberBarrier(env)
+
+    round_index = 0
+    # monotonically increasing generation: stale fail-killers from earlier
+    # rounds must not fire into a later round's processes
+    round_gen = {"value": 0}
+
+    while True:
+        if epoch_mode and round_index >= total_epochs:
+            break
+        if not epoch_mode and remaining_steps <= 0:
+            break
+        boundary_now = env.now
+
+        # -- apply boundary events (join / leave / stale fails) -----------
+        for idx, event in enumerate(membership.events):
+            if idx in consumed or event.kind == "fail":
+                continue
+            due = (event.epoch is not None and event.epoch <= round_index) or (
+                event.time is not None and event.time <= boundary_now
+            )
+            if not due:
+                continue
+            consumed.add(idx)
+            if event.kind == "join":
+                if event.node in active:
+                    raise ConfigurationError(
+                        f"node {event.node} is already active"
+                    )
+                active.append(event.node)
+            else:  # leave
+                if event.node in active:
+                    active.remove(event.node)
+                    deactivated_at[event.node] = boundary_now
+        # a fail whose anchor passed between rounds (a time instant that
+        # fell outside any round, or an `after` longer than its epoch)
+        # degrades to removal at this boundary instead of silently never
+        # firing -- the node must not outlive its scheduled death
+        for idx, event in enumerate(membership.events):
+            if idx in consumed or event.kind != "fail":
+                continue
+            stale = (event.time is not None and event.time <= boundary_now) or (
+                event.epoch is not None and event.epoch < round_index
+            )
+            if stale:
+                consumed.add(idx)
+                if event.node in active:
+                    active.remove(event.node)
+                    deactivated_at[event.node] = boundary_now
+
+        if not active:
+            raise ConfigurationError(
+                "membership schedule empties the cluster before the "
+                "workload's budget is exhausted"
+            )
+        round_nodes = sorted(active)
+        world_nodes = len(round_nodes)
+        world_ranks = world_nodes * gpus_per_node
+
+        # -- epoch-boundary re-sharding -----------------------------------
+        for position, node in enumerate(round_nodes):
+            if node in samplers:
+                samplers[node] = samplers[node].reshard(
+                    world_nodes, position, epoch_offset=round_index
+                )
+            else:
+                samplers[node] = ShardedSampler(
+                    n_samples,
+                    rank=position,
+                    world_size=world_nodes,
+                    seed=seed,
+                    epoch_offset=round_index,
+                )
+                contexts[node] = SimContext(
+                    env, workload, hw_for(node), gpus_per_node
+                )
+                activated_at[node] = boundary_now
+
+        shard_len = len(samplers[round_nodes[0]])
+        if epoch_mode:
+            pass_batches = (shard_len + batch_size - 1) // batch_size
+        else:
+            pass_batches = shard_len // batch_size
+        if pass_batches == 0:
+            raise ConfigurationError(
+                f"shard of {shard_len} samples yields no batch "
+                f"(batch_size={batch_size}); shrink the cluster or the batch"
+            )
+        if epoch_mode and not template.per_gpu_sharding:
+            # exactly one pass over the shard: batches deal round-robin
+            # across the node's GPUs (matching the loaders' own dealing),
+            # so per-GPU step counts may differ by one -- short ranks leave
+            # the sync gracefully when their budget is done
+            gpu_steps = [
+                pass_batches // gpus_per_node
+                + (1 if g < pass_batches % gpus_per_node else 0)
+                for g in range(gpus_per_node)
+            ]
+            node_budget = pass_batches
+            samples_budget = shard_len
+        elif epoch_mode:
+            # per-GPU-sharding, full-batch loaders (DALI) need an equal
+            # rounded-up budget per GPU stream: every per-GPU shard is
+            # fully consumed, at the cost of up to one wrap-around batch
+            # of next-shuffle spill per GPU
+            per_gpu_steps = (pass_batches + gpus_per_node - 1) // gpus_per_node
+            gpu_steps = [per_gpu_steps] * gpus_per_node
+            node_budget = per_gpu_steps * gpus_per_node
+            samples_budget = None
+        else:
+            per_gpu_steps = min(
+                (pass_batches + gpus_per_node - 1) // gpus_per_node,
+                ceil(remaining_steps / world_ranks),
+            )
+            gpu_steps = [per_gpu_steps] * gpus_per_node
+            node_budget = per_gpu_steps * gpus_per_node
+            samples_budget = None
+
+        # -- loader rebind + spawn ----------------------------------------
+        round_ranks = [
+            (node, gpu) for node in round_nodes for gpu in range(gpus_per_node)
+        ]
+        if ring is not None:
+            ring.set_ring(round_ranks)
+        barrier.set_members(round_ranks)
+        sync_cost = allreduce.step_cost(world_ranks)
+        loaders: Dict[int, object] = {}
+        round_procs: Dict[int, List] = {}
+        coverage: Set[int] = set()
+        round_steps = {"count": 0}
+        round_gen["value"] += 1
+        generation = round_gen["value"]
+        this_round = round_index
+
+        def leave_sync(member) -> None:
+            """Graceful exit from this round's sync (budget done early or
+            loader under-delivered): survivors stop waiting for us."""
+            if ring is not None:
+                ring.leave(member)
+            else:
+                barrier.remove(member)
+
+        def gpu_proc(node: int, gpu: int, loader, steps: int):
+            ctx = contexts[node]
+            member = (node, gpu)
+            hw = hw_for(node)
+            try:
+                for step_index in range(steps):
+                    batch = yield from loader.get_batch(gpu)
+                    if batch is None:
+                        leave_sync(member)
+                        return
+                    for spec in batch.specs:
+                        coverage.add(spec.index)
+                    step = workload.model.step_time(
+                        batch.size, hw.gpu_type, world_size=1
+                    )
+                    yield from ctx.train_step(gpu, step)
+                    counters["steps"] += 1
+                    counters["samples"] += batch.size
+                    round_steps["count"] += 1
+                    if world_ranks > 1:
+                        if ring is not None:
+                            entered = env.now
+                            yield from ring.allreduce(
+                                (this_round, step_index), member
+                            )
+                            counters["sync"] += env.now - entered
+                        else:
+                            yield barrier.arrive((this_round, step_index), member)
+                            if sync_cost > 0:
+                                yield env.timeout(sync_cost)
+                                counters["sync"] += sync_cost
+                # ranks with a one-shorter budget must not stall the rest
+                leave_sync(member)
+            except Interrupt:
+                return
+
+        def kill_node(node: int) -> None:
+            """Abrupt mid-epoch failure: interrupt, halt, abort."""
+            if node not in active:
+                return
+            active.remove(node)
+            deactivated_at[node] = env.now
+            loader = loaders.get(node)
+            if loader is not None:
+                loader.halt()
+            for proc in round_procs.get(node, []):
+                if proc.is_alive:
+                    proc.interrupt("node-failure")
+            for gpu in range(gpus_per_node):
+                if ring is not None:
+                    ring.abort((node, gpu))
+                else:
+                    barrier.remove((node, gpu))
+
+        def fail_controller(
+            event_index: int,
+            event: MembershipEvent,
+            delay: float,
+            generation: int,
+        ):
+            # generation is bound per call: a controller left pending from
+            # an earlier round (its `after` outlived the epoch) must not
+            # fire into a later round -- the boundary handler degrades it
+            if delay > 0:
+                yield env.timeout(delay)
+            if round_gen["value"] != generation:
+                return  # stale: the boundary handler will apply it
+            if event_index in consumed:
+                return
+            consumed.add(event_index)
+            kill_node(event.node)
+
+        for position, node in enumerate(round_nodes):
+            loader = template.rebind_shard(
+                samplers[node],
+                node_budget,
+                total_samples_override=samples_budget,
+            )
+            loader.start(contexts[node])
+            loaders[node] = loader
+            round_procs[node] = [
+                env.process(gpu_proc(node, gpu, loader, gpu_steps[gpu]))
+                for gpu in range(gpus_per_node)
+            ]
+
+        # -- schedule this round's fail events ----------------------------
+        for idx, event in enumerate(membership.events):
+            if idx in consumed or event.kind != "fail":
+                continue
+            if event.node not in round_nodes:
+                continue
+            if event.epoch is not None and event.epoch == round_index:
+                env.process(
+                    fail_controller(idx, event, event.after, generation)
+                )
+            elif event.time is not None:
+                env.process(
+                    fail_controller(
+                        idx,
+                        event,
+                        max(0.0, event.time - env.now),
+                        generation,
+                    )
+                )
+
+        all_procs = [proc for procs in round_procs.values() for proc in procs]
+        env.run(until=AllOf(env, all_procs))
+
+        epoch_membership.append(round_nodes)
+        epoch_shard_sizes.append([len(samplers[node]) for node in round_nodes])
+        epoch_coverage.append(len(coverage))
+        if not epoch_mode:
+            if round_steps["count"] == 0:
+                raise ConfigurationError(
+                    "elastic round made no progress; the membership "
+                    "schedule starves the iteration budget"
+                )
+            remaining_steps -= round_steps["count"]
+        round_index += 1
+
+    duration = env.now
+    seen_nodes = sorted(contexts)
+    windows = {
+        node: (activated_at[node], deactivated_at.get(node, duration))
+        for node in seen_nodes
+    }
+    per_node_cpu = []
+    per_node_gpu: List[float] = []
+    for node in seen_nodes:
+        start, end = windows[node]
+        span = max(end - start, 1e-12)
+        ctx = contexts[node]
+        per_node_cpu.append(
+            average_utilization(
+                ctx.cpu_recorder.intervals,
+                start,
+                end,
+                capacity=hw_for(node).cpu_cores,
+            )
+            if span > 0
+            else 0.0
+        )
+        for recorder in ctx.gpu_recorders:
+            per_node_gpu.append(
+                average_utilization(
+                    [i for i in recorder.intervals if i.tag == "train"],
+                    start,
+                    end,
+                )
+            )
+    return DistributedResult(
+        loader=loader_name,
+        workload=workload.name,
+        nodes=membership.initial_nodes,
+        gpus_per_node=gpus_per_node,
+        training_time=duration,
+        steps=counters["steps"],
+        samples=counters["samples"],
+        gpu_utilization=(
+            sum(per_node_gpu) / len(per_node_gpu) if per_node_gpu else 0.0
+        ),
+        cpu_utilization=(
+            sum(per_node_cpu) / len(per_node_cpu) if per_node_cpu else 0.0
+        ),
+        sync_seconds_total=counters["sync"],
+        shard_sizes=list(epoch_shard_sizes[-1]) if epoch_shard_sizes else [],
+        per_node_cpu_utilization=per_node_cpu,
+        node_hardware_names=[hw_for(node).name for node in seen_nodes],
+        fabric=fabric,
+        node_ids=seen_nodes,
+        per_node_active_seconds=[
+            max(0.0, windows[node][1] - windows[node][0]) for node in seen_nodes
+        ],
+        epoch_membership=epoch_membership,
+        epoch_shard_sizes=epoch_shard_sizes,
+        epoch_coverage=epoch_coverage,
     )

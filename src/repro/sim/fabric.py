@@ -1,0 +1,230 @@
+"""Modelled ring all-reduce network fabric.
+
+The closed-form :class:`~repro.sim.distributed.AllReduceModel` charges every
+rank the same per-step constant, so a straggler's lateness (or a mid-step
+failure) is averaged away: it can never delay one ring neighbor more than
+another.  This module replaces the constant with *simulated transfers*: every
+world rank owns one outgoing link (a :class:`~repro.sim.resources.BandwidthPipe`
+with the interconnect's bandwidth and per-hop latency), and one all-reduce is
+a collective of ``2(W-1)`` ring stages -- reduce-scatter then all-gather.  At
+stage ``s`` each rank sends one gradient chunk (``gradient_bytes / W``) to its
+ring successor and cannot enter stage ``s+1`` until it has both finished its
+own send and received its predecessor's stage-``s`` chunk.
+
+Consequences the closed form cannot express:
+
+* on a homogeneous cluster where every rank enters together, the collective
+  takes exactly ``2(W-1) * (latency + gradient_bytes / (W * bandwidth))`` --
+  the analytic :meth:`AllReduceModel.step_cost`, which tests cross-check;
+* a rank that enters late delays its *successor* first, and the delay
+  propagates one hop per stage around the ring (neighbor coupling);
+* a rank that dies mid-collective stalls its successor until the failure
+  detector fires (``detection_timeout``), after which its undelivered chunks
+  are filled in -- the surviving ring re-forms instead of deadlocking, and
+  collectives created after the abort exclude the dead rank entirely.
+
+Members are opaque hashables; the distributed runner uses ``(node, gpu)``
+tuples.  Collectives are keyed by ``(round, step)`` so ranks that drift ahead
+of each other (there is no global barrier in fabric mode) still join the
+right collective.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Hashable, Iterable, List, Tuple
+
+from ..errors import ConfigurationError
+from .kernel import Environment, Event
+from .resources import BandwidthPipe
+
+__all__ = ["RingFabric", "RingCollective"]
+
+
+class RingCollective:
+    """One in-flight all-reduce: delivery events per (stage, sender)."""
+
+    def __init__(self, fabric: "RingFabric", ring: List[Hashable]) -> None:
+        self.fabric = fabric
+        #: ring order snapshotted at creation; every participant of this
+        #: collective derives its predecessor from the same snapshot
+        self.ring = list(ring)
+        self._deliveries: Dict[Tuple[int, Hashable], Event] = {}
+        self._finished: set = set()
+
+    def delivery(self, stage: int, sender: Hashable) -> Event:
+        """The event 'sender's stage-``stage`` chunk reached its successor'.
+
+        Created lazily; if the sender is already dead the event resolves via
+        the fabric's failure detector instead of a transfer.
+        """
+        event = self._deliveries.get((stage, sender))
+        if event is None:
+            event = self.fabric.env.event()
+            self._deliveries[(stage, sender)] = event
+            death = self.fabric.dead.get(sender)
+            if death is not None:
+                self.fabric._fill_in(
+                    event, death, self.fabric._fill_delay.get(sender, 0.0)
+                )
+        return event
+
+    @property
+    def survivors(self) -> set:
+        return {m for m in self.ring if m not in self.fabric.dead}
+
+
+class RingFabric:
+    """Per-link simulated ring all-reduce over a mutable membership."""
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: float,
+        bandwidth: float,
+        gradient_bytes: float,
+        detection_timeout: float = 1.0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {bandwidth!r}")
+        if latency < 0 or gradient_bytes < 0 or detection_timeout < 0:
+            raise ConfigurationError(
+                "latency, gradient_bytes and detection_timeout must be >= 0"
+            )
+        self.env = env
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.gradient_bytes = float(gradient_bytes)
+        self.detection_timeout = float(detection_timeout)
+        #: dead member -> virtual death time (failure detector anchor)
+        self.dead: Dict[Hashable, float] = {}
+        #: dead member -> how long after death its chunks fill in
+        #: (detection_timeout for failures, 0 for graceful exits)
+        self._fill_delay: Dict[Hashable, float] = {}
+        self._ring: List[Hashable] = []
+        self._links: Dict[Hashable, BandwidthPipe] = {}
+        self._collectives: Dict[Any, RingCollective] = {}
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def ring(self) -> List[Hashable]:
+        return list(self._ring)
+
+    def set_ring(self, members: Iterable[Hashable]) -> None:
+        """Install the ring for subsequently created collectives.
+
+        Resets the dead set: the caller's member list is authoritative for
+        the new ring (an elastic runner re-forms the ring every epoch from
+        its live membership; ranks that merely finished early last epoch
+        rejoin, failed nodes are simply not listed)."""
+        self.dead = {}
+        self._fill_delay = {}
+        self._ring = list(members)
+
+    def abort(self, member: Hashable) -> None:
+        """Remove ``member`` on failure without deadlocking the ring.
+
+        Collectives created afterwards exclude it; its undelivered chunks in
+        in-flight collectives are filled in once the failure detector fires
+        (``detection_timeout`` after the abort), so ring neighbors stall for
+        the detection window -- not forever.
+        """
+        self._remove(member, self.detection_timeout)
+
+    def leave(self, member: Hashable) -> None:
+        """Remove ``member`` gracefully (budget exhausted / early exit): its
+        undelivered chunks fill in immediately, so neighbors only ever wait
+        for work that is actually outstanding."""
+        self._remove(member, 0.0)
+
+    def _remove(self, member: Hashable, fill_delay: float) -> None:
+        if member in self.dead:
+            return
+        death = self.env.now
+        self.dead[member] = death
+        self._fill_delay[member] = fill_delay
+        self._ring = [m for m in self._ring if m != member]
+        for collective in list(self._collectives.values()):
+            for (_stage, sender), event in collective._deliveries.items():
+                if sender == member and not event.triggered:
+                    self._fill_in(event, death, fill_delay)
+        self._sweep()
+
+    def _fill_in(
+        self, event: Event, death_time: float, fill_delay: float
+    ) -> None:
+        """Resolve a dead sender's delivery after its fill-in window."""
+        delay = max(0.0, death_time + fill_delay - self.env.now)
+
+        def detector() -> Generator:
+            if delay > 0:
+                yield self.env.timeout(delay)
+            if not event.triggered:
+                event.succeed()
+
+        self.env.process(detector())
+
+    # -- links -------------------------------------------------------------
+
+    def link(self, member: Hashable) -> BandwidthPipe:
+        """``member``'s outgoing ring link (created on first use)."""
+        pipe = self._links.get(member)
+        if pipe is None:
+            pipe = BandwidthPipe(
+                self.env, self.bandwidth, self.latency, record=False
+            )
+            self._links[member] = pipe
+        return pipe
+
+    # -- the collective ----------------------------------------------------
+
+    def allreduce(self, key: Any, member: Hashable) -> Generator:
+        """Participate in the all-reduce ``key`` as ``member`` (a process).
+
+        All ranks calling with the same ``key`` join one collective whose
+        ring order is snapshotted from :meth:`set_ring` at first entry.
+        Returns when this rank has completed all ``2(W-1)`` stages.
+        """
+        collective = self._collectives.get(key)
+        if collective is None:
+            collective = RingCollective(self, self._ring)
+            self._collectives[key] = collective
+        ring = collective.ring
+        world = len(ring)
+        if world <= 1 or member not in ring:
+            self._retire(key, collective, member)
+            return
+        position = ring.index(member)
+        predecessor = ring[position - 1]
+        chunk = self.gradient_bytes / world
+        link = self.link(member)
+        for stage in range(2 * (world - 1)):
+            send_done = link.transfer(chunk)
+            mine = collective.delivery(stage, member)
+            recv = collective.delivery(stage, predecessor)
+            yield send_done
+            if not mine.triggered:
+                mine.succeed()
+            if not recv.triggered:
+                yield recv
+        self._retire(key, collective, member)
+
+    def _retire(self, key: Any, collective: RingCollective, member: Hashable) -> None:
+        collective._finished.add(member)
+        if collective.survivors <= collective._finished:
+            self._collectives.pop(key, None)
+
+    def _sweep(self) -> None:
+        """Drop collectives whose remaining survivors have all finished."""
+        done = [
+            key
+            for key, col in self._collectives.items()
+            if col.survivors <= col._finished
+        ]
+        for key in done:
+            self._collectives.pop(key, None)
+
+    @property
+    def in_flight(self) -> int:
+        """Number of collectives not yet completed by every survivor."""
+        return len(self._collectives)

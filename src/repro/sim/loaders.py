@@ -32,6 +32,7 @@ that drive the threaded engine in :mod:`repro.core.loader` (see DESIGN.md).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Generator, Iterator, List, Optional
 
@@ -213,9 +214,19 @@ class BaseSimLoader:
     only its rank's shard and sizes its stream from the *sampler* length.
     ``total_batches_override`` pins the delivered-batch budget explicitly
     (the distributed runner uses it to keep lockstep ranks in agreement).
+
+    Elastic re-sharding uses :meth:`rebind_shard` to clone a loader onto a
+    re-derived sampler at an epoch boundary, and :meth:`halt` to retire a
+    failed node's polling workers instead of letting them spin in virtual
+    time forever.
     """
 
     name = "base"
+    #: True for loaders that subdivide their node shard into fixed per-GPU
+    #: streams of full batches (DALI): an elastic epoch budget must then be
+    #: dealt equally per GPU (rounded up, wrap-around spill) because a
+    #: round-robin batch deal would starve the tail of some GPU's stream
+    per_gpu_sharding = False
 
     def __init__(
         self,
@@ -228,6 +239,14 @@ class BaseSimLoader:
         self.shard_rank = shard_rank
         self.shard_world_size = shard_world_size
         self.total_batches_override = total_batches_override
+        #: exact sampler to use instead of building one from the shard
+        #: fields (set by rebind_shard; carries elastic epoch offsets)
+        self._sampler_override: Optional[ShardedSampler] = None
+        #: exact sample budget for sample-granular loaders (Minato); lets a
+        #: one-epoch elastic round end after precisely one shard pass
+        #: instead of rounding up to whole batches
+        self.total_samples_override: Optional[int] = None
+        self._halted = False
         # cost-model results are deterministic per sample: memoize them
         # (sims revisit samples every epoch)
         self._cost_cache: dict = {}
@@ -236,6 +255,43 @@ class BaseSimLoader:
 
     def start(self, ctx: SimContext) -> None:
         raise NotImplementedError
+
+    def halt(self) -> None:
+        """Stop this loader's polling workers (elastic node failure).
+
+        Blocked producers/consumers park on untriggered events and cost the
+        kernel nothing, but Minato's workers poll on timeouts; after a node
+        dies mid-epoch they would keep scheduling wake-ups for the rest of
+        the simulation.  ``halt()`` makes them retire at their next wake-up.
+        """
+        self._halted = True
+
+    def rebind_shard(
+        self,
+        sampler: ShardedSampler,
+        total_batches_override: Optional[int] = None,
+        total_samples_override: Optional[int] = None,
+    ) -> "BaseSimLoader":
+        """A fresh, not-yet-started clone of this loader bound to ``sampler``.
+
+        Elastic training re-shards at epoch boundaries by re-deriving every
+        surviving node's :class:`~repro.data.samplers.ShardedSampler`
+        (``sampler.reshard(...)``) and re-creating the node's loader on the
+        new shard -- DistributedSampler semantics: a sampler's rank/world are
+        fixed at construction.  The clone shares this loader's per-sample
+        cost memos, so re-sharding never re-pays cost-model evaluation, and
+        all run state is rebuilt by ``start()``.
+        """
+        clone = copy.copy(self)
+        clone.ctx = None
+        clone.batch_stores = []
+        clone._halted = False
+        clone._sampler_override = sampler
+        clone.shard_rank = sampler.rank
+        clone.shard_world_size = sampler.world_size
+        clone.total_batches_override = total_batches_override
+        clone.total_samples_override = total_samples_override
+        return clone
 
     def node_rank(self) -> int:
         """This loader's data-parallel rank; fails fast on half-configured
@@ -249,6 +305,13 @@ class BaseSimLoader:
 
     def make_sampler(self, n: int):
         """This rank's sampler: a shard when data-parallel, else the full shuffle."""
+        if self._sampler_override is not None:
+            if self._sampler_override.dataset_size != n:
+                raise ConfigurationError(
+                    f"rebound sampler covers {self._sampler_override.dataset_size} "
+                    f"samples but the workload's dataset has {n}"
+                )
+            return self._sampler_override
         if self.shard_world_size > 1:
             return ShardedSampler(
                 n,
@@ -464,6 +527,7 @@ class SimDALILoader(BaseSimLoader):
     """Per-GPU DALI pipeline: CPU loading + GPU batch preprocessing."""
 
     name = "dali"
+    per_gpu_sharding = True
 
     def __init__(
         self,
@@ -516,12 +580,20 @@ class SimDALILoader(BaseSimLoader):
     def _shard_stream(self, gpu: int) -> Iterator[int]:
         # DALI always shards per GPU; under data parallelism that composes
         # with the node-level shard into one flat (node, gpu) rank space
-        sampler = ShardedSampler(
-            len(self.ctx.workload.dataset),
-            rank=self.node_rank() * self.ctx.num_gpus + gpu,
-            world_size=self.shard_world_size * self.ctx.num_gpus,
-            seed=self.seed,
-        )
+        if self._sampler_override is not None:
+            # rebound node-level shard: subdivide it per GPU, preserving the
+            # override's seed / tail policy / elastic epoch offset
+            sampler = self._sampler_override.reshard(
+                world_size=self._sampler_override.world_size * self.ctx.num_gpus,
+                rank=self._sampler_override.rank * self.ctx.num_gpus + gpu,
+            )
+        else:
+            sampler = ShardedSampler(
+                len(self.ctx.workload.dataset),
+                rank=self.node_rank() * self.ctx.num_gpus + gpu,
+                world_size=self.shard_world_size * self.ctx.num_gpus,
+                seed=self.seed,
+            )
         epoch = 0
         while True:
             for index in sampler.epoch(epoch):
@@ -727,6 +799,8 @@ class SimMinatoLoader(BaseSimLoader):
 
     def _total_samples(self) -> int:
         workload = self.ctx.workload
+        if self.total_samples_override is not None:
+            return self.total_samples_override
         if self.total_batches_override is None and workload.epochs is not None:
             # sampler length, not dataset length: a sharded rank feeds only
             # its (padded) slice per epoch
@@ -742,6 +816,8 @@ class SimMinatoLoader(BaseSimLoader):
         pool's target at the top of its loop and exits when the pool is
         over target (a blocked worker simply retires at its next loop).
         """
+        if self._halted:
+            return
         stream_active = not (
             self._feeding_done and len(self._index_store) == 0
         )
@@ -782,7 +858,7 @@ class SimMinatoLoader(BaseSimLoader):
         env = ctx.env
         try:
             while True:
-                if self._active_workers > self._loading_target:
+                if self._halted or self._active_workers > self._loading_target:
                     return
                 item = self._index_store.try_get()
                 if item is None:
@@ -837,7 +913,7 @@ class SimMinatoLoader(BaseSimLoader):
         env = ctx.env
         try:
             while True:
-                if self._active_slow > self._slow_target:
+                if self._halted or self._active_slow > self._slow_target:
                     return
                 item = self._temp_store.try_get()
                 if item is None:
@@ -869,6 +945,10 @@ class SimMinatoLoader(BaseSimLoader):
                 got = self.construction.next_ready(lambda: None, lambda: None)
                 if got is not None:
                     return got
+                if self._halted:
+                    # dead node: park on a never-triggered event instead of
+                    # polling in virtual time for the rest of the simulation
+                    yield env.event()
                 yield env.timeout(self.poll_interval)
         else:
             _key, item = yield self._ready_store.get()
@@ -910,7 +990,7 @@ class SimMinatoLoader(BaseSimLoader):
         ctx = self.ctx
         env = ctx.env
         self.scaling.reset(env.now)
-        while self._builders_done < ctx.num_gpus:
+        while self._builders_done < ctx.num_gpus and not self._halted:
             yield env.timeout(self.scheduler_interval)
             queue_fill = sum(
                 len(store) / store.capacity for store in self.batch_stores

@@ -22,6 +22,34 @@ def test_cli_run_single_experiment(capsys):
     assert "PASS" in out
 
 
+def test_cli_distributed_elastic(capsys):
+    """`python -m repro distributed --elastic` runs the churn/failure
+    membership scenarios end-to-end and its measured checks pass."""
+    assert main(["distributed", "--elastic", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "distributed_elastic" in out
+    assert "churn" in out
+    assert "failure" in out
+    assert "MISS" not in out
+
+
+def test_cli_distributed_elastic_saves_report(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "distributed",
+                "--elastic",
+                "--scale",
+                "0.05",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    assert os.path.exists(tmp_path / "distributed_elastic.txt")
+
+
 def test_cli_run_unknown_experiment(capsys):
     assert main(["run", "fig99"]) == 2
     err = capsys.readouterr().err

@@ -36,6 +36,54 @@ def test_allreduce_bandwidth_term_bounded():
     assert model.step_cost(1000) < 2.0 * 1e9 / 1e10 + 1e-9
 
 
+def test_run_distributed_validates_fabric():
+    import pytest as _pytest
+
+    with _pytest.raises(ConfigurationError):
+        run_distributed("minato", tiny_speech(), CONFIG_A, nodes=2, fabric="torus")
+
+
+def test_ring_fabric_matches_analytic_on_homogeneous_cluster():
+    """Cross-check: the modelled per-link ring and the closed form agree on
+    a uniform static cluster (the only regime the closed form covers)."""
+    wl = tiny_speech()
+    analytic = run_distributed(
+        "minato", wl, CONFIG_A, nodes=2, gpus_per_node=2, steps_per_gpu=5,
+        fabric="analytic",
+    )
+    ring = run_distributed(
+        "minato", wl, CONFIG_A, nodes=2, gpus_per_node=2, steps_per_gpu=5,
+        fabric="ring",
+    )
+    assert ring.fabric == "ring" and analytic.fabric == "analytic"
+    assert ring.steps == analytic.steps
+    assert ring.training_time == pytest.approx(analytic.training_time, rel=0.05)
+
+
+def test_ring_fabric_exposes_straggler_neighbor_delay():
+    """Under a hardware straggler the measured per-step sync wait on the
+    ring fabric far exceeds the closed form, which stays constant by
+    construction -- the property the analytic model cannot express."""
+    from repro.experiments.distributed import straggler_config
+
+    wl = tiny_speech()
+    model = AllReduceModel()
+    kwargs = dict(
+        nodes=2,
+        gpus_per_node=2,
+        steps_per_gpu=5,
+        allreduce=model,
+        node_hardware=[CONFIG_A, straggler_config(CONFIG_A)],
+    )
+    analytic = run_distributed("minato", wl, CONFIG_A, fabric="analytic", **kwargs)
+    ring = run_distributed("minato", wl, CONFIG_A, fabric="ring", **kwargs)
+    closed_form = model.step_cost(4)
+    assert analytic.sync_seconds_total / analytic.steps == pytest.approx(
+        closed_form
+    )
+    assert ring.sync_seconds_total / ring.steps > 1.5 * closed_form
+
+
 # ---------------------------------------------------------------------------
 # run_distributed
 # ---------------------------------------------------------------------------

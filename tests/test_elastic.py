@@ -1,0 +1,296 @@
+"""Elastic cluster membership: re-sharding, fault injection, reporting.
+
+Fault-injection regressions reuse ``tests/test_sharding.py``'s watchdog
+pattern: the scenario runs on a daemon thread with a generous wall-clock
+timeout so a synchronization deadlock (a dead rank never releasing the
+barrier / ring) fails the test instead of hanging the suite.
+"""
+
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.distributed import (
+    ClusterMembership,
+    MembershipEvent,
+    run_elastic,
+)
+from repro.sim.workloads import CONFIG_A, make_workload
+
+DEADLOCK_TIMEOUT = 60.0  # wall seconds; generous, the runs take ~1 s
+
+
+def epoch_workload(n_samples=96, epochs=2):
+    base = make_workload("speech_3s", dataset_size=n_samples)
+    return replace(base, iterations=None, epochs=epochs)
+
+
+def run_guarded(*args, **kwargs):
+    """Run run_elastic on a watchdog thread; fail instead of hang."""
+    outcome = {}
+
+    def target():
+        try:
+            outcome["result"] = run_elastic(*args, **kwargs)
+        except BaseException as exc:  # surfaced on the main thread
+            outcome["error"] = exc
+
+    worker = threading.Thread(target=target, daemon=True)
+    worker.start()
+    worker.join(timeout=DEADLOCK_TIMEOUT)
+    if worker.is_alive():
+        pytest.fail(
+            f"run_elastic deadlocked: args={args!r} kwargs={kwargs!r}"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["result"]
+
+
+# ---------------------------------------------------------------------------
+# Membership schedule validation
+# ---------------------------------------------------------------------------
+
+
+def test_membership_event_validation():
+    with pytest.raises(ConfigurationError):
+        MembershipEvent("reboot", 0, epoch=1)
+    with pytest.raises(ConfigurationError):
+        MembershipEvent("leave", 0)  # no anchor
+    with pytest.raises(ConfigurationError):
+        MembershipEvent("leave", 0, epoch=1, time=2.0)  # both anchors
+    with pytest.raises(ConfigurationError):
+        MembershipEvent("leave", 0, epoch=1, after=0.5)  # after is fail-only
+    with pytest.raises(ConfigurationError):
+        # after offsets an epoch anchor only; an absolute time anchor must
+        # fold the offset in (it would otherwise be silently ignored)
+        MembershipEvent("fail", 0, time=1.0, after=0.5)
+    MembershipEvent("fail", 0, epoch=1, after=0.5)  # fine
+
+
+def test_cluster_membership_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterMembership(0)
+    with pytest.raises(ConfigurationError):  # joining an initial node
+        ClusterMembership(2, [MembershipEvent("join", 1, epoch=1)])
+    with pytest.raises(ConfigurationError):  # leaving an unknown node
+        ClusterMembership(2, [MembershipEvent("leave", 7, epoch=1)])
+    with pytest.raises(ConfigurationError):  # leaving twice
+        ClusterMembership(
+            2,
+            [
+                MembershipEvent("leave", 1, epoch=1),
+                MembershipEvent("fail", 1, epoch=2),
+            ],
+        )
+    membership = ClusterMembership(2, [MembershipEvent("join", 5, epoch=1)])
+    assert membership.node_ids == [0, 1, 5]
+
+
+def test_run_elastic_rejects_emptied_cluster():
+    membership = ClusterMembership(
+        2,
+        [
+            MembershipEvent("leave", 0, epoch=1),
+            MembershipEvent("leave", 1, epoch=1),
+        ],
+    )
+    with pytest.raises(ConfigurationError):
+        run_guarded("minato", epoch_workload(), CONFIG_A, membership)
+
+
+def test_run_elastic_rejects_epochs_override_on_iteration_workload():
+    wl = make_workload("speech_3s", dataset_size=96).scaled(0.02)
+    with pytest.raises(ConfigurationError):
+        run_elastic("minato", wl, CONFIG_A, ClusterMembership(2), epochs=2)
+
+
+# ---------------------------------------------------------------------------
+# Graceful churn: boundary re-sharding
+# ---------------------------------------------------------------------------
+
+
+def test_leave_at_boundary_keeps_full_coverage_every_epoch():
+    """Acceptance scenario: a 4-node cluster losing one node at epoch 1
+    still covers every sample each epoch."""
+    membership = ClusterMembership(4, [MembershipEvent("leave", 3, epoch=1)])
+    result = run_guarded(
+        "minato", epoch_workload(n_samples=120, epochs=3), CONFIG_A, membership
+    )
+    assert result.epoch_membership == [[0, 1, 2, 3], [0, 1, 2], [0, 1, 2]]
+    assert result.epoch_coverage == [120, 120, 120]
+    assert result.epoch_shard_sizes == [[30] * 4, [40] * 3, [40] * 3]
+
+
+def test_join_gets_a_shard_at_the_next_boundary():
+    membership = ClusterMembership(2, [MembershipEvent("join", 2, epoch=1)])
+    result = run_guarded(
+        "minato", epoch_workload(n_samples=96, epochs=2), CONFIG_A, membership
+    )
+    assert result.epoch_membership == [[0, 1], [0, 1, 2]]
+    assert result.epoch_shard_sizes == [[48, 48], [32, 32, 32]]
+    assert result.epoch_coverage == [96, 96]
+    # the joiner's active window starts at the boundary, not at t=0
+    joiner = result.node_ids.index(2)
+    assert result.per_node_active_seconds[joiner] < result.training_time
+
+
+@pytest.mark.parametrize("loader", ["pytorch", "pecan", "dali"])
+def test_every_loader_model_covers_each_epoch_under_churn(loader):
+    """Regression (dali): a loader that shards per GPU with full batches
+    only must get an equal rounded-up per-GPU budget, or the tail of some
+    GPU's stream is never consumed and the epoch silently under-covers."""
+    membership = ClusterMembership(3, [MembershipEvent("leave", 2, epoch=1)])
+    result = run_guarded(
+        loader,
+        epoch_workload(n_samples=144, epochs=2),
+        CONFIG_A,
+        membership,
+        gpus_per_node=2,
+        fabric="ring",
+    )
+    assert result.epoch_coverage == [144, 144]
+    assert result.epoch_membership == [[0, 1, 2], [0, 1]]
+
+
+def test_iteration_budget_resplits_across_survivors():
+    """Iteration-budgeted workloads fix cluster-wide steps: shrinking the
+    cluster re-splits the remaining budget instead of losing it."""
+    wl = make_workload("speech_3s", dataset_size=96).scaled(0.02)  # 20 steps
+    membership = ClusterMembership(2, [MembershipEvent("leave", 1, epoch=1)])
+    result = run_guarded(
+        "minato", wl, CONFIG_A, membership, gpus_per_node=2, fabric="ring"
+    )
+    world = 2 * 2
+    assert wl.iterations <= result.steps < wl.iterations + world
+    assert len(result.epoch_membership[0]) == 2
+    assert len(result.epoch_membership[-1]) == 1
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: mid-epoch failures must degrade, never deadlock
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fabric", ["ring", "analytic"])
+@pytest.mark.parametrize("loader", ["minato", "pytorch"])
+def test_mid_epoch_failure_never_deadlocks(fabric, loader):
+    """A node dying mid-epoch leaves its ring chunks / barrier arrivals
+    unsent; the survivors must complete the epoch via the failure detector
+    (ring) or barrier shrink (analytic) instead of waiting forever."""
+    membership = ClusterMembership(
+        3, [MembershipEvent("fail", 2, epoch=0, after=0.5)]
+    )
+    result = run_guarded(
+        "minato" if loader == "minato" else loader,
+        epoch_workload(n_samples=120, epochs=2),
+        CONFIG_A,
+        membership,
+        gpus_per_node=2,
+        fabric=fabric,
+    )
+    assert result.epoch_membership == [[0, 1, 2], [0, 1]]
+    # the dead node's window ends mid-run
+    dead = result.node_ids.index(2)
+    assert result.per_node_active_seconds[dead] < result.training_time
+
+
+@pytest.mark.parametrize("after", [0.6, 2.5])
+def test_failure_while_ranks_wait_at_the_barrier_never_deadlocks(after):
+    """Regression: the analytic barrier must track arrivals per member.  A
+    straggler survivor holds every step's barrier open for seconds, so the
+    fast dead node's ranks are killed while already arrived-and-waiting; a
+    count-based barrier double-counted those arrivals, released early, and
+    left the straggler's late arrivals waiting on a barrier nobody else
+    would ever join."""
+    from repro.experiments.distributed import straggler_config
+
+    workload = epoch_workload(n_samples=144, epochs=2)
+    membership = ClusterMembership(
+        3, [MembershipEvent("fail", 2, epoch=0, after=after)]
+    )
+    result = run_guarded(
+        "minato",
+        workload,
+        CONFIG_A,
+        membership,
+        gpus_per_node=2,
+        fabric="analytic",
+        node_hardware={1: straggler_config(CONFIG_A)},
+    )
+    assert result.epoch_membership == [[0, 1, 2], [0, 1]]
+    assert result.epoch_coverage[1] == 144
+
+
+def test_stale_epoch_anchored_failure_still_removes_the_node():
+    """Regression: a fail whose `after` outlives its anchored epoch must
+    degrade to removal at the next boundary, not silently never fire."""
+    membership = ClusterMembership(
+        3, [MembershipEvent("fail", 2, epoch=0, after=1e6)]
+    )
+    result = run_guarded(
+        "minato", epoch_workload(n_samples=120, epochs=3), CONFIG_A, membership
+    )
+    assert result.epoch_membership == [[0, 1, 2], [0, 1], [0, 1]]
+    assert result.epoch_coverage == [120, 120, 120]
+
+
+def test_epoch_rounds_do_not_overshoot_into_the_next_shuffle():
+    """Regression: when a shard's batch count does not divide by the GPU
+    count, the round must still consume exactly one shard pass (short ranks
+    leave the sync early) instead of padding with next-shuffle batches."""
+    # shard 48/2 nodes = 24 -> 1 batch of 24 per node across 2 GPUs
+    workload = epoch_workload(n_samples=48, epochs=2)
+    result = run_guarded(
+        "minato", workload, CONFIG_A, ClusterMembership(2), gpus_per_node=2
+    )
+    # one pass per node per epoch: 1 batch x 2 nodes x 2 epochs
+    assert result.steps == 4
+    assert result.samples == 2 * 48  # exactly the dataset, twice
+    assert result.epoch_coverage == [48, 48]
+
+
+def test_failed_shard_is_fully_recovered_next_epoch():
+    """The failing epoch loses (only) part of the dead node's shard; the
+    next boundary's re-shard re-covers the entire dataset."""
+    n = 120
+    membership = ClusterMembership(
+        4, [MembershipEvent("fail", 3, epoch=1, after=0.5)]
+    )
+    result = run_guarded(
+        "minato",
+        epoch_workload(n_samples=n, epochs=3),
+        CONFIG_A,
+        membership,
+        fabric="ring",
+    )
+    assert result.epoch_coverage[0] == n
+    assert result.epoch_coverage[1] < n  # the lost shard remainder
+    assert result.epoch_coverage[2] == n  # re-covered after re-sharding
+    assert result.epoch_membership[2] == [0, 1, 2]
+
+
+def test_time_anchored_failure_applies():
+    """A fail anchored in absolute virtual time (not at an epoch) fires
+    mid-run and the cluster keeps going."""
+    membership = ClusterMembership(3, [MembershipEvent("fail", 2, time=1.0)])
+    result = run_guarded(
+        "minato", epoch_workload(n_samples=120, epochs=2), CONFIG_A, membership
+    )
+    assert [len(m) for m in result.epoch_membership][-1] == 2
+    assert result.epoch_coverage[-1] == 120
+
+
+def test_elastic_static_matches_membership_free_reporting():
+    """No events: every epoch reports the same full membership and the
+    per-node windows span the whole run."""
+    result = run_guarded(
+        "minato", epoch_workload(n_samples=96, epochs=2), CONFIG_A,
+        ClusterMembership(3),
+    )
+    assert result.epoch_membership == [[0, 1, 2], [0, 1, 2]]
+    assert result.node_ids == [0, 1, 2]
+    assert result.per_node_active_seconds == [result.training_time] * 3
+    assert result.shard_sizes == [32, 32, 32]

@@ -32,6 +32,7 @@ def test_registry_covers_every_paper_artifact():
         "artifact_e1",
         "ablations",
         "distributed",
+        "distributed_elastic",
     }
 
 
