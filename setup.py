@@ -21,4 +21,5 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.9",
     install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.__main__:main"]},
 )

@@ -52,10 +52,20 @@ def _cmd_run(args) -> int:
 
 def _cmd_distributed(args) -> int:
     """Shortcut for the distributed experiments: ``--elastic`` runs the
-    churn/failure membership scenarios on the modelled ring fabric."""
+    churn/failure membership scenarios on the modelled ring fabric, and
+    ``--reshard`` picks the elastic re-shard policy (``locality`` keeps
+    survivors on overlapping shard blocks so their page caches stay warm)."""
+    if args.reshard != "stride" and not args.elastic:
+        print("--reshard applies to elastic runs; pass --elastic", file=sys.stderr)
+        return 2
     experiment_id = "distributed_elastic" if args.elastic else "distributed"
     runner = REGISTRY[experiment_id]
-    result = runner(scale=args.scale) if args.scale is not None else runner()
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.elastic:
+        kwargs["reshard"] = args.reshard
+    result = runner(**kwargs)
     print(result.render())
     if args.output:
         path = result.save(args.output)
@@ -89,6 +99,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--elastic",
         action="store_true",
         help="run the elastic churn/failure scenarios on the ring fabric",
+    )
+    dist_parser.add_argument(
+        "--reshard",
+        choices=["stride", "locality"],
+        default="stride",
+        help=(
+            "elastic re-shard policy: stride (fresh random shards) or "
+            "locality (contiguous blocks, survivors keep overlapping "
+            "shards so their page caches stay warm)"
+        ),
     )
     dist_parser.add_argument("--scale", type=float, default=None)
     dist_parser.add_argument("--output", default=None, help="directory for reports")

@@ -2,11 +2,18 @@
 
 from .dataset import Dataset, InMemoryDataset, SubsetDataset
 from .sample import Sample, SampleSpec
-from .samplers import BatchSampler, RandomSampler, SequentialSampler, ShardedSampler
+from .samplers import (
+    BatchSampler,
+    RandomSampler,
+    SequentialSampler,
+    ShardAssignment,
+    ShardedSampler,
+)
 from .storage import (
     DRAM_BANDWIDTH,
     LUSTRE,
     NVME,
+    CacheSnapshot,
     PageCache,
     StorageModel,
     StorageSpec,
@@ -28,7 +35,9 @@ __all__ = [
     "SequentialSampler",
     "RandomSampler",
     "ShardedSampler",
+    "ShardAssignment",
     "BatchSampler",
+    "CacheSnapshot",
     "PageCache",
     "StorageModel",
     "StorageSpec",

@@ -22,7 +22,15 @@ from typing import Optional
 from ..errors import StorageError
 from .sample import SampleSpec
 
-__all__ = ["PageCache", "StorageSpec", "StorageModel", "NVME", "LUSTRE", "DRAM_BANDWIDTH"]
+__all__ = [
+    "CacheSnapshot",
+    "PageCache",
+    "StorageSpec",
+    "StorageModel",
+    "NVME",
+    "LUSTRE",
+    "DRAM_BANDWIDTH",
+]
 
 GB = 1024**3
 
@@ -48,6 +56,43 @@ NVME = StorageSpec(name="nvme", bandwidth=7.0 * GB, latency=100e-6)
 LUSTRE = StorageSpec(name="lustre", bandwidth=8.0 * GB, latency=1e-3)
 
 
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """Point-in-time copy of a :class:`PageCache`'s counters.
+
+    ``delta(earlier)`` turns two snapshots into per-window accounting
+    (per-epoch cache behaviour in the elastic runner): the monotonic
+    counters are differenced, while ``used_bytes`` / ``entries`` keep the
+    later snapshot's instantaneous values.  ``miss_bytes`` over a window is
+    the warmup cost paid in that window -- bytes that had to come from the
+    device because the cache did not hold them.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    hit_bytes: int = 0
+    miss_bytes: int = 0
+    used_bytes: int = 0
+    entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def delta(self, earlier: "CacheSnapshot") -> "CacheSnapshot":
+        return CacheSnapshot(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            hit_bytes=self.hit_bytes - earlier.hit_bytes,
+            miss_bytes=self.miss_bytes - earlier.miss_bytes,
+            used_bytes=self.used_bytes,
+            entries=self.entries,
+        )
+
+
 class PageCache:
     """Bytes-capacity LRU cache keyed by sample index.
 
@@ -64,6 +109,8 @@ class PageCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.hit_bytes = 0
+        self.miss_bytes = 0
 
     @property
     def used_bytes(self) -> int:
@@ -76,29 +123,61 @@ class PageCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _evict_to_fit(self) -> None:
+        while self._used > self.capacity_bytes and self._entries:
+            _old_key, old_size = self._entries.popitem(last=False)
+            self._used -= old_size
+            self.evictions += 1
+
     def access(self, key: int, nbytes: int) -> bool:
         """Record an access; returns True on hit, inserts on miss.
 
+        A hit whose ``nbytes`` differs from the stored entry re-accounts the
+        entry at its new size (and evicts if the cache now overflows): a
+        key's stored size must track what the cache actually holds, or
+        ``_used`` drifts permanently and the cache over/under-evicts forever.
         Objects larger than the whole cache bypass it (never cached),
         mirroring page-cache behaviour under severe memory pressure.
         """
         if nbytes < 0:
             raise StorageError(f"negative object size: {nbytes!r}")
         with self._lock:
-            if key in self._entries:
+            stored = self._entries.get(key)
+            if stored is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                self.hit_bytes += nbytes
+                if nbytes != stored:
+                    if nbytes > self.capacity_bytes:
+                        del self._entries[key]
+                        self._used -= stored
+                    else:
+                        self._entries[key] = nbytes
+                        self._used += nbytes - stored
+                        self._evict_to_fit()
                 return True
             self.misses += 1
+            self.miss_bytes += nbytes
             if nbytes > self.capacity_bytes:
                 return False
-            while self._used + nbytes > self.capacity_bytes and self._entries:
-                _old_key, old_size = self._entries.popitem(last=False)
-                self._used -= old_size
-                self.evictions += 1
-            self._entries[key] = nbytes
             self._used += nbytes
+            self._evict_to_fit()
+            self._entries[key] = nbytes
             return False
+
+    def snapshot(self) -> CacheSnapshot:
+        """Copy the counters; pair with :meth:`CacheSnapshot.delta` for
+        per-window (e.g. per-epoch) cache accounting."""
+        with self._lock:
+            return CacheSnapshot(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                hit_bytes=self.hit_bytes,
+                miss_bytes=self.miss_bytes,
+                used_bytes=self._used,
+                entries=len(self._entries),
+            )
 
     def invalidate(self, key: int) -> None:
         with self._lock:

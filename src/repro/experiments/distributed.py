@@ -209,9 +209,15 @@ def run_elastic_experiment(
     scale: Optional[float] = None,
     nodes: int = 4,
     gpus_per_node: int = 2,
+    reshard: str = "stride",
 ) -> ExperimentReport:
     """Elastic distributed training: churn/failure x {minato, pytorch} on
-    the modelled ring fabric, plus fabric-vs-analytic cross-checks."""
+    the modelled ring fabric, fabric-vs-analytic cross-checks, and a
+    re-shard-policy arm comparing ``stride`` vs ``locality`` cache warmup.
+
+    ``reshard`` selects the policy for the scenario matrix (the
+    stride-vs-locality comparison arm always runs both).
+    """
     scale = scale if scale is not None else default_scale()
     report = ExperimentReport(
         experiment_id="distributed_elastic",
@@ -254,6 +260,7 @@ def run_elastic_experiment(
                 gpus_per_node=gpus_per_node,
                 allreduce=allreduce,
                 fabric="ring",
+                reshard=reshard,
             )
             results[(loader, arm)] = result
             rows.append(
@@ -341,6 +348,79 @@ def run_elastic_experiment(
             speedup >= 1.5,
             f"pytorch/minato = {speedup:.2f}x",
         )
+
+    # -- locality-preserving vs stride re-sharding ------------------------
+    # A cache-sized configuration (each node's page cache holds ~1.5x one
+    # post-reshard shard, far less than the dataset) makes the warmup cost
+    # of a membership change visible: stride hands every survivor an
+    # essentially fresh random shard, locality keeps most of the old one.
+    churn_membership = ClusterMembership(
+        nodes, [MembershipEvent("leave", nodes - 1, epoch=1)]
+    )
+    dataset_bytes = sum(
+        workload.dataset.spec(i).raw_nbytes for i in range(n_samples)
+    )
+    shard_bytes = dataset_bytes / max(nodes - 1, 1)
+    cache_fraction = 1.5 * shard_bytes / CONFIG_A.memory_bytes
+    reshard_runs = {
+        policy: run_elastic(
+            "minato",
+            workload,
+            CONFIG_A,
+            churn_membership,
+            gpus_per_node=gpus_per_node,
+            allreduce=allreduce,
+            fabric="ring",
+            reshard=policy,
+            cache_fraction=cache_fraction,
+        )
+        for policy in ("stride", "locality")
+    }
+    report.data["reshard_runs"] = reshard_runs
+    reshard_rows = []
+    for policy, run_result in reshard_runs.items():
+        reshard_rows.append(
+            (
+                policy,
+                "/".join(f"{o:.2f}" for o in run_result.epoch_mean_overlap),
+                "/".join(
+                    f"{mb / 1e6:.1f}" for mb in run_result.epoch_miss_bytes
+                ),
+            )
+        )
+    report.body += "\n\n" + render_table(
+        ["reshard", "mean shard overlap/epoch", "miss MB/epoch"],
+        reshard_rows,
+        title=(
+            f"Re-shard policy under churn (minato, {nodes}->{nodes - 1} "
+            f"nodes at epoch 1, cache ~1.5x shard):"
+        ),
+    )
+    stride_run = reshard_runs["stride"]
+    locality_run = reshard_runs["locality"]
+    post = 1  # the round right after the membership change
+    report.check(
+        "locality re-sharding preserves more of the survivors' shards "
+        "than stride (mean overlap, post-reshard epoch; growing shards "
+        "cap the worst-placed survivor, so the guarantee is aggregate)",
+        locality_run.epoch_mean_overlap[post]
+        > stride_run.epoch_mean_overlap[post],
+        f"locality {locality_run.epoch_shard_overlap[post]} vs "
+        f"stride {stride_run.epoch_shard_overlap[post]}",
+    )
+    report.check(
+        "locality re-sharding pays strictly less cache warmup than stride "
+        "after the membership change (post-reshard miss bytes)",
+        locality_run.epoch_miss_bytes[post] < stride_run.epoch_miss_bytes[post],
+        f"locality {locality_run.epoch_miss_bytes[post] / 1e6:.1f} MB vs "
+        f"stride {stride_run.epoch_miss_bytes[post] / 1e6:.1f} MB",
+    )
+    report.check(
+        "block-layout shards still cover the dataset every epoch under "
+        "churn (locality trades shuffle freshness, never coverage)",
+        all(c == n_samples for c in locality_run.epoch_coverage),
+        f"coverage {locality_run.epoch_coverage} of {n_samples}",
+    )
 
     # -- fabric-vs-analytic cross-checks ----------------------------------
     iter_workload = make_workload("speech_3s", dataset_size=n_samples).scaled(

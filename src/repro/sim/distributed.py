@@ -25,11 +25,22 @@ samples a disjoint, equal-length slice of every epoch's global shuffle
 cluster collectively covers the dataset once per epoch instead of every
 node redundantly processing all of it.
 
-:func:`run_distributed` runs a *static* cluster; :func:`run_elastic` runs a
+:func:`run_elastic` is the round executor: it runs a
 :class:`ClusterMembership` schedule of join/leave/fail events with
 epoch-boundary re-sharding (every surviving node's sampler is re-derived via
 ``ShardedSampler.reshard``) and, for iteration-budgeted workloads, re-splits
 the remaining cluster-wide step budget across the surviving membership.
+:func:`run_distributed` is a thin wrapper over it -- a static cluster is
+elastic with an empty event schedule -- so the DDP step loop, the barrier
+and the fabric wiring exist exactly once.
+
+Re-sharding is *locality-aware* when ``reshard="locality"``: shards use
+:class:`~repro.data.samplers.ShardedSampler`'s contiguous-block layout and a
+:class:`~repro.data.samplers.ShardAssignment` keeps each survivor on the new
+block that overlaps its old shard most, so the warmup cost of a membership
+change (measured per epoch per node via
+:meth:`~repro.data.storage.PageCache.snapshot` deltas in
+:class:`DistributedResult`) is minimized instead of silently paid.
 """
 
 from __future__ import annotations
@@ -38,7 +49,8 @@ from dataclasses import dataclass, field
 from math import ceil
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..data.samplers import ShardedSampler
+from ..data.samplers import ShardAssignment, ShardedSampler
+from ..data.storage import CacheSnapshot
 from ..engine.metrics import average_utilization
 from ..errors import ConfigurationError
 from .fabric import RingFabric
@@ -261,11 +273,12 @@ class _MemberBarrier:
 class DistributedResult:
     """Outcome of one multi-node simulated run.
 
-    Static runs report one constant membership; elastic runs fill the
-    per-epoch fields (``epoch_membership`` / ``epoch_shard_sizes`` /
-    ``epoch_coverage``) because the node list is *not* constant: a node that
-    left mid-run appears in the epochs it participated in and its
-    utilization is measured over its own active window, not the full run.
+    Every run reports per-epoch fields (``epoch_membership`` /
+    ``epoch_shard_sizes`` / ``epoch_coverage`` / ``epoch_shard_overlap`` /
+    ``epoch_cache_deltas``); for a static run the membership rows are
+    constant, for an elastic run they track the schedule: a node that left
+    mid-run appears in the epochs it participated in and its utilization is
+    measured over its own active window, not the full run.
     """
 
     loader: str
@@ -305,14 +318,42 @@ class DistributedResult:
     #: distinct dataset samples consumed in each epoch (elastic runs); a
     #: fully covered epoch equals the dataset size
     epoch_coverage: List[int] = field(default_factory=list)
+    #: which re-shard policy assigned rank slots ("stride" or "locality")
+    reshard_policy: str = "stride"
+    #: per-epoch, per-node fraction of this round's shard already held in
+    #: the node's previous-round shard (aligned with epoch_membership;
+    #: 0.0 for a node's first round) -- the quantity locality-preserving
+    #: re-sharding maximizes
+    epoch_shard_overlap: List[List[float]] = field(default_factory=list)
+    #: per-epoch, per-node page-cache deltas (aligned with
+    #: epoch_membership): hits/misses/evictions plus hit/miss bytes paid in
+    #: that round; miss bytes after a membership change are the re-shard's
+    #: cache-warmup cost
+    epoch_cache_deltas: List[List[CacheSnapshot]] = field(default_factory=list)
 
     @property
     def world_size(self) -> int:
         return self.nodes * self.gpus_per_node
 
+    @property
+    def epoch_miss_bytes(self) -> List[float]:
+        """Cluster-wide cache-warmup bytes per epoch (summed over nodes)."""
+        return [
+            float(sum(delta.miss_bytes for delta in round_deltas))
+            for round_deltas in self.epoch_cache_deltas
+        ]
+
+    @property
+    def epoch_mean_overlap(self) -> List[float]:
+        """Mean per-node shard overlap per epoch."""
+        return [
+            sum(row) / len(row) if row else 0.0
+            for row in self.epoch_shard_overlap
+        ]
+
 
 # ---------------------------------------------------------------------------
-# Static cluster
+# Static cluster: elastic with an empty event schedule
 # ---------------------------------------------------------------------------
 
 
@@ -327,6 +368,8 @@ def run_distributed(
     steps_per_gpu: Optional[int] = None,
     node_hardware: Optional[Sequence[HardwareConfig]] = None,
     fabric: str = "analytic",
+    reshard: str = "stride",
+    cache_fraction: float = 0.8,
 ) -> DistributedResult:
     """Simulate data-parallel training across ``nodes`` machines.
 
@@ -343,144 +386,45 @@ def run_distributed(
     ``node_hardware`` (one config per node) models heterogeneous clusters:
     a node with fewer CPU cores or slower storage becomes a straggler whose
     tail latency the per-step synchronization imposes on every other rank.
+
+    A static cluster is exactly an elastic one with an empty event
+    schedule, so this is a thin wrapper over :func:`run_elastic` -- the DDP
+    step loop, barrier and fabric wiring exist once.  ``steps_per_gpu``
+    (defaulting to the cluster-wide iteration budget split across ranks for
+    iteration workloads) becomes a cluster-wide ``total_steps`` budget that
+    the round executor consumes in shard-pass rounds.
     """
     if nodes < 1:
         raise ConfigurationError(f"nodes must be >= 1, got {nodes!r}")
-    if fabric not in FABRICS:
-        raise ConfigurationError(
-            f"fabric must be one of {FABRICS}, got {fabric!r}"
-        )
     if node_hardware is not None and len(node_hardware) != nodes:
         raise ConfigurationError(
             f"node_hardware must list one config per node: "
             f"got {len(node_hardware)} for {nodes} nodes"
         )
-    node_hw = list(node_hardware) if node_hardware is not None else [hardware] * nodes
-    allreduce = allreduce if allreduce is not None else AllReduceModel()
     world = nodes * gpus_per_node
-    base_kwargs = dict(loader_kwargs or {})
-    for key in ("shard_rank", "shard_world_size", "total_batches_override"):
-        base_kwargs.pop(key, None)
-    seed = base_kwargs.get("seed", 0)
-
-    # equal per rank by ShardedSampler construction (wrap-around padding)
-    shard_len = len(
-        ShardedSampler(len(workload.dataset), rank=0, world_size=nodes, seed=seed)
-    )
-    if steps_per_gpu is None:
-        if workload.epochs is not None:
-            node_batches = workload.epochs * (
-                (shard_len + workload.batch_size - 1) // workload.batch_size
-            )
-            steps_per_gpu = (node_batches + gpus_per_node - 1) // gpus_per_node
-        else:
-            # iteration budget is cluster-wide: split it across all ranks
-            steps_per_gpu = max(1, (workload.iterations + world - 1) // world)
-
-    env = Environment()
-    ring: Optional[RingFabric] = None
-    if fabric == "ring":
-        ring = allreduce.make_fabric(env)
-        ring.set_ring(
-            [(node, gpu) for node in range(nodes) for gpu in range(gpus_per_node)]
-        )
-    contexts: List[SimContext] = []
-    loaders = []
-    measured_shards: List[int] = []
-    for node in range(nodes):
-        ctx = SimContext(env, workload, node_hw[node], gpus_per_node)
-        loader = make_sim_loader(
-            loader_name,
-            **base_kwargs,
-            shard_rank=node,
-            shard_world_size=nodes,
-            total_batches_override=steps_per_gpu * gpus_per_node,
-        )
-        loader.start(ctx)
-        contexts.append(ctx)
-        loaders.append(loader)
-        # measured from the sampler the loader actually built, so a loader
-        # that ignored its shard assignment is visible to callers (loaders
-        # that shard internally per GPU report the node-level arithmetic)
-        sampler = getattr(loader, "sampler", None)
-        measured_shards.append(len(sampler) if sampler is not None else shard_len)
-
-    sync_cost = allreduce.step_cost(world)
-
-    counters = {"steps": 0, "samples": 0, "sync": 0.0}
-    barrier = _MemberBarrier(env)
-    barrier.set_members(
-        [(node, gpu) for node in range(nodes) for gpu in range(gpus_per_node)]
-    )
-
-    def gpu_proc(node: int, gpu: int):
-        ctx = contexts[node]
-        loader = loaders[node]
-        member = (node, gpu)
-        for step_index in range(steps_per_gpu):
-            batch = yield from loader.get_batch(gpu)
-            if batch is None:
-                # under-delivery must degrade the sync, not deadlock it
-                if ring is not None:
-                    ring.leave(member)
-                else:
-                    barrier.remove(member)
-                return
-            step = workload.model.step_time(
-                batch.size, node_hw[node].gpu_type, world_size=1
-            )
-            yield from ctx.train_step(gpu, step)
-            counters["steps"] += 1
-            counters["samples"] += batch.size
-            if world > 1:
-                if ring is not None:
-                    entered = env.now
-                    yield from ring.allreduce(step_index, member)
-                    counters["sync"] += env.now - entered
-                else:
-                    yield barrier.arrive(step_index, member)
-                    if sync_cost > 0:
-                        yield env.timeout(sync_cost)
-                        counters["sync"] += sync_cost
-
-    procs = [
-        env.process(gpu_proc(node, gpu))
-        for node in range(nodes)
-        for gpu in range(gpus_per_node)
-    ]
-    env.run(until=AllOf(env, procs))
-    duration = env.now
-
-    gpu_utils = [
-        average_utilization(
-            [i for i in rec.intervals if i.tag == "train"], 0.0, duration
-        )
-        for ctx in contexts
-        for rec in ctx.gpu_recorders
-    ]
-    cpu_utils = [
-        average_utilization(
-            ctx.cpu_recorder.intervals, 0.0, duration, capacity=hw.cpu_cores
-        )
-        for ctx, hw in zip(contexts, node_hw)
-    ]
-    return DistributedResult(
-        loader=loader_name,
-        workload=workload.name,
-        nodes=nodes,
+    total_steps: Optional[int] = None
+    if steps_per_gpu is not None:
+        total_steps = steps_per_gpu * world
+    elif workload.epochs is None:
+        # iteration budget is cluster-wide: split it across all ranks
+        total_steps = max(1, (workload.iterations + world - 1) // world) * world
+    return run_elastic(
+        loader_name,
+        workload,
+        hardware,
+        ClusterMembership(nodes),
         gpus_per_node=gpus_per_node,
-        training_time=duration,
-        steps=counters["steps"],
-        samples=counters["samples"],
-        gpu_utilization=sum(gpu_utils) / len(gpu_utils),
-        cpu_utilization=sum(cpu_utils) / len(cpu_utils),
-        sync_seconds_total=counters["sync"],
-        shard_sizes=measured_shards,
-        per_node_cpu_utilization=cpu_utils,
-        node_hardware_names=[hw.name for hw in node_hw],
+        allreduce=allreduce,
+        loader_kwargs=loader_kwargs,
+        node_hardware=(
+            {node: hw for node, hw in enumerate(node_hardware)}
+            if node_hardware is not None
+            else None
+        ),
         fabric=fabric,
-        node_ids=list(range(nodes)),
-        per_node_active_seconds=[duration] * nodes,
+        total_steps=total_steps,
+        reshard=reshard,
+        cache_fraction=cache_fraction,
     )
 
 
@@ -501,11 +445,21 @@ def run_elastic(
     node_hardware: Optional[Dict[int, HardwareConfig]] = None,
     fabric: str = "ring",
     detection_timeout: float = 1.0,
+    reshard: str = "stride",
+    total_steps: Optional[int] = None,
+    cache_fraction: float = 0.8,
 ) -> DistributedResult:
     """Simulate elastic data-parallel training over a membership schedule.
 
+    This is *the* round executor: static runs (:func:`run_distributed`)
+    are the degenerate case of an empty event schedule.
+
     Execution is epoch-wise.  At each epoch boundary the pending join/leave
-    events are applied and every member's
+    events are applied, a :class:`~repro.data.samplers.ShardAssignment`
+    maps the surviving membership to rank slots (``reshard="stride"``:
+    ``sorted(active)`` position, stride-sliced shards; ``"locality"``:
+    contiguous-block shards with the slot assignment maximizing each
+    survivor's overlap with its previous shard), and every member's
     :class:`~repro.data.samplers.ShardedSampler` is re-derived for the new
     membership via ``reshard(world_size, rank)`` -- so each epoch the
     surviving cluster again covers the dataset with disjoint, equal-length
@@ -518,12 +472,19 @@ def run_elastic(
 
     Epoch-based workloads run ``workload.epochs`` epochs (override with
     ``epochs``).  Iteration-based workloads fix a *cluster-wide* step
-    budget: each boundary re-splits the remaining budget across the current
-    membership, so a shrunken cluster runs more rounds rather than losing
-    steps.
+    budget (``total_steps`` overrides ``workload.iterations``): each
+    boundary re-splits the remaining budget across the current membership,
+    so a shrunken cluster runs more rounds rather than losing steps.
+
+    Every round records, per node, the shard-overlap fraction with the
+    node's previous round and the page-cache counter deltas
+    (``epoch_shard_overlap`` / ``epoch_cache_deltas`` on the result): the
+    miss bytes of the round after a membership change are the re-shard's
+    cache-warmup cost, the quantity ``reshard="locality"`` minimizes.
 
     ``node_hardware`` maps node id -> config (joining nodes included);
-    unlisted nodes run ``hardware``.
+    unlisted nodes run ``hardware``.  ``cache_fraction`` sizes every
+    node's page cache (fraction of its hardware's memory).
     """
     if fabric not in FABRICS:
         raise ConfigurationError(
@@ -533,6 +494,7 @@ def run_elastic(
         raise ConfigurationError(
             f"gpus_per_node must be >= 1, got {gpus_per_node!r}"
         )
+    assignment = ShardAssignment(reshard)
     allreduce = allreduce if allreduce is not None else AllReduceModel()
     base_kwargs = dict(loader_kwargs or {})
     for key in ("shard_rank", "shard_world_size", "total_batches_override"):
@@ -551,9 +513,25 @@ def run_elastic(
             "workload with epochs instead of iterations (loader tail "
             "semantics differ between the two budgets)"
         )
-    epoch_mode = workload.epochs is not None or epochs is not None
+    if total_steps is not None and epochs is not None:
+        raise ConfigurationError(
+            "total_steps fixes a cluster-wide step budget; it cannot be "
+            "combined with an epochs override"
+        )
+    if total_steps is not None and total_steps < 1:
+        raise ConfigurationError(
+            f"total_steps must be >= 1, got {total_steps!r}"
+        )
+    epoch_mode = total_steps is None and (
+        workload.epochs is not None or epochs is not None
+    )
     total_epochs = epochs if epochs is not None else workload.epochs
-    remaining_steps = None if epoch_mode else workload.iterations
+    if epoch_mode:
+        remaining_steps = None
+    else:
+        remaining_steps = (
+            total_steps if total_steps is not None else workload.iterations
+        )
 
     env = Environment()
     ring: Optional[RingFabric] = None
@@ -575,6 +553,11 @@ def run_elastic(
     epoch_membership: List[List[int]] = []
     epoch_shard_sizes: List[List[int]] = []
     epoch_coverage: List[int] = []
+    epoch_shard_overlap: List[List[float]] = []
+    epoch_cache_deltas: List[List[CacheSnapshot]] = []
+    #: each node's shard index set from the round before (locality input
+    #: and overlap-reporting baseline)
+    prev_shards: Dict[int, frozenset] = {}
 
     # analytic fabric: a removal-aware barrier (a failed or early-exiting
     # rank must release the survivors, not deadlock them)
@@ -638,23 +621,44 @@ def run_elastic(
         world_ranks = world_nodes * gpus_per_node
 
         # -- epoch-boundary re-sharding -----------------------------------
-        for position, node in enumerate(round_nodes):
+        # stride: slot = sorted(active) position; locality: the stable
+        # assignment keeping each survivor on the new block that overlaps
+        # its previous shard most
+        slot_map = assignment.assign(round_nodes, prev_shards, n_samples, seed=seed)
+        for node in round_nodes:
             if node in samplers:
                 samplers[node] = samplers[node].reshard(
-                    world_nodes, position, epoch_offset=round_index
+                    world_nodes, slot_map[node], epoch_offset=round_index
                 )
             else:
                 samplers[node] = ShardedSampler(
                     n_samples,
-                    rank=position,
+                    rank=slot_map[node],
                     world_size=world_nodes,
                     seed=seed,
                     epoch_offset=round_index,
+                    layout=assignment.layout,
                 )
                 contexts[node] = SimContext(
-                    env, workload, hw_for(node), gpus_per_node
+                    env,
+                    workload,
+                    hw_for(node),
+                    gpus_per_node,
+                    cache_fraction=cache_fraction,
                 )
                 activated_at[node] = boundary_now
+        round_shards = {
+            node: samplers[node].shard_indices() for node in round_nodes
+        }
+        round_overlap = [
+            (
+                len(round_shards[node] & prev_shards[node])
+                / max(len(round_shards[node]), 1)
+                if node in prev_shards
+                else 0.0
+            )
+            for node in round_nodes
+        ]
 
         shard_len = len(samplers[round_nodes[0]])
         if epoch_mode:
@@ -666,6 +670,7 @@ def run_elastic(
                 f"shard of {shard_len} samples yields no batch "
                 f"(batch_size={batch_size}); shrink the cluster or the batch"
             )
+        round_passes = 1  # epoch mode: one shard pass per round
         if epoch_mode and not template.per_gpu_sharding:
             # exactly one pass over the shard: batches deal round-robin
             # across the node's GPUs (matching the loaders' own dealing),
@@ -688,9 +693,39 @@ def run_elastic(
             node_budget = per_gpu_steps * gpus_per_node
             samples_budget = None
         else:
-            per_gpu_steps = min(
-                (pass_batches + gpus_per_node - 1) // gpus_per_node,
-                ceil(remaining_steps / world_ranks),
+            # budget mode: span this round over as many shard passes as the
+            # budget allows, up to the next scheduled membership change --
+            # a static (or currently-quiet) cluster keeps one pipelined
+            # loader instance instead of paying a cold start per pass.
+            # Events stay anchored in pass units: a pending anchor breaks
+            # the span so its boundary (and, for fails, the re-shard right
+            # after) still lands exactly where the schedule says.
+            per_pass_per_gpu = (pass_batches + gpus_per_node - 1) // gpus_per_node
+            next_change: Optional[int] = None
+            for pending_index, pending in enumerate(membership.events):
+                if pending_index in consumed:
+                    continue
+                if pending.time is not None:
+                    # unknown pass alignment: stay pass-by-pass until fired
+                    anchors = [round_index + 1]
+                elif pending.kind == "fail":
+                    anchors = [pending.epoch, pending.epoch + 1]
+                else:
+                    anchors = [pending.epoch]
+                for anchor in anchors:
+                    if anchor > round_index and (
+                        next_change is None or anchor < next_change
+                    ):
+                        next_change = anchor
+            cap_per_gpu = ceil(remaining_steps / world_ranks)
+            if next_change is not None:
+                per_gpu_steps = min(
+                    (next_change - round_index) * per_pass_per_gpu, cap_per_gpu
+                )
+            else:
+                per_gpu_steps = cap_per_gpu
+            round_passes = max(
+                1, (per_gpu_steps + per_pass_per_gpu - 1) // per_pass_per_gpu
             )
             gpu_steps = [per_gpu_steps] * gpus_per_node
             node_budget = per_gpu_steps * gpus_per_node
@@ -825,12 +860,23 @@ def run_elastic(
                     )
                 )
 
+        cache_before = {
+            node: contexts[node].cache.snapshot() for node in round_nodes
+        }
         all_procs = [proc for procs in round_procs.values() for proc in procs]
         env.run(until=AllOf(env, all_procs))
 
         epoch_membership.append(round_nodes)
         epoch_shard_sizes.append([len(samplers[node]) for node in round_nodes])
         epoch_coverage.append(len(coverage))
+        epoch_shard_overlap.append(round_overlap)
+        epoch_cache_deltas.append(
+            [
+                contexts[node].cache.snapshot().delta(cache_before[node])
+                for node in round_nodes
+            ]
+        )
+        prev_shards.update(round_shards)
         if not epoch_mode:
             if round_steps["count"] == 0:
                 raise ConfigurationError(
@@ -838,7 +884,7 @@ def run_elastic(
                     "schedule starves the iteration budget"
                 )
             remaining_steps -= round_steps["count"]
-        round_index += 1
+        round_index += round_passes
 
     duration = env.now
     seen_nodes = sorted(contexts)
@@ -896,4 +942,7 @@ def run_elastic(
         epoch_membership=epoch_membership,
         epoch_shard_sizes=epoch_shard_sizes,
         epoch_coverage=epoch_coverage,
+        reshard_policy=reshard,
+        epoch_shard_overlap=epoch_shard_overlap,
+        epoch_cache_deltas=epoch_cache_deltas,
     )

@@ -233,12 +233,16 @@ class BaseSimLoader:
         shard_rank: Optional[int] = None,
         shard_world_size: int = 1,
         total_batches_override: Optional[int] = None,
+        shard_layout: str = "stride",
     ) -> None:
         self.batch_stores: List[Store] = []
         self.ctx: Optional[SimContext] = None
         self.shard_rank = shard_rank
         self.shard_world_size = shard_world_size
         self.total_batches_override = total_batches_override
+        #: shard slicing layout ("stride" | "block"); block keeps a rank's
+        #: index set fixed across epochs so its page cache stays warm
+        self.shard_layout = shard_layout
         #: exact sampler to use instead of building one from the shard
         #: fields (set by rebind_shard; carries elastic epoch offsets)
         self._sampler_override: Optional[ShardedSampler] = None
@@ -318,6 +322,7 @@ class BaseSimLoader:
                 rank=self.node_rank(),
                 world_size=self.shard_world_size,
                 seed=self.seed,
+                layout=self.shard_layout,
             )
         return RandomSampler(n, seed=self.seed)
 
@@ -397,11 +402,13 @@ class SimTorchLoader(BaseSimLoader):
         shard_rank: Optional[int] = None,
         shard_world_size: int = 1,
         total_batches_override: Optional[int] = None,
+        shard_layout: str = "stride",
     ) -> None:
         super().__init__(
             shard_rank=shard_rank,
             shard_world_size=shard_world_size,
             total_batches_override=total_batches_override,
+            shard_layout=shard_layout,
         )
         self.num_workers = num_workers
         self.prefetch_factor = prefetch_factor
@@ -539,11 +546,13 @@ class SimDALILoader(BaseSimLoader):
         shard_rank: Optional[int] = None,
         shard_world_size: int = 1,
         total_batches_override: Optional[int] = None,
+        shard_layout: str = "stride",
     ) -> None:
         super().__init__(
             shard_rank=shard_rank,
             shard_world_size=shard_world_size,
             total_batches_override=total_batches_override,
+            shard_layout=shard_layout,
         )
         self.num_threads_per_gpu = num_threads_per_gpu
         self.prefetch_queue_depth = prefetch_queue_depth
@@ -593,6 +602,7 @@ class SimDALILoader(BaseSimLoader):
                 rank=self.node_rank() * self.ctx.num_gpus + gpu,
                 world_size=self.shard_world_size * self.ctx.num_gpus,
                 seed=self.seed,
+                layout=self.shard_layout,
             )
         epoch = 0
         while True:
@@ -668,11 +678,13 @@ class SimMinatoLoader(BaseSimLoader):
         shard_rank: Optional[int] = None,
         shard_world_size: int = 1,
         total_batches_override: Optional[int] = None,
+        shard_layout: str = "stride",
     ) -> None:
         super().__init__(
             shard_rank=shard_rank,
             shard_world_size=shard_world_size,
             total_batches_override=total_batches_override,
+            shard_layout=shard_layout,
         )
         if classifier not in ("timeout", "size"):
             raise ConfigurationError(

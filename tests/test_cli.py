@@ -33,6 +33,30 @@ def test_cli_distributed_elastic(capsys):
     assert "MISS" not in out
 
 
+def test_cli_distributed_elastic_reshard_locality(capsys):
+    """`--reshard locality` runs the elastic scenarios on block-layout
+    shards with the locality slot assignment, and the stride-vs-locality
+    comparison arm's checks pass."""
+    assert (
+        main(["distributed", "--elastic", "--reshard", "locality", "--scale", "0.05"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "locality" in out
+    assert "MISS" not in out
+
+
+def test_cli_reshard_requires_elastic(capsys):
+    assert main(["distributed", "--reshard", "locality"]) == 2
+    err = capsys.readouterr().err
+    assert "--elastic" in err
+
+
+def test_cli_reshard_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        main(["distributed", "--elastic", "--reshard", "zigzag"])
+
+
 def test_cli_distributed_elastic_saves_report(tmp_path, capsys):
     assert (
         main(

@@ -19,7 +19,7 @@ from repro.data.samplers import RandomSampler, ShardedSampler  # noqa: E402
 SETTINGS = settings(max_examples=60, deadline=None)
 
 
-def shards_for(n, world, seed, drop_last, epoch_offset=0):
+def shards_for(n, world, seed, drop_last, epoch_offset=0, layout="stride"):
     return [
         ShardedSampler(
             n,
@@ -28,9 +28,13 @@ def shards_for(n, world, seed, drop_last, epoch_offset=0):
             seed=seed,
             drop_last=drop_last,
             epoch_offset=epoch_offset,
+            layout=layout,
         )
         for rank in range(world)
     ]
+
+
+layouts = st.sampled_from(ShardedSampler.LAYOUTS)
 
 
 def assert_invariants(shards, n, epoch):
@@ -63,9 +67,10 @@ def assert_invariants(shards, n, epoch):
     seed=st.integers(min_value=0, max_value=2**16),
     epoch=st.integers(min_value=0, max_value=12),
     drop_last=st.booleans(),
+    layout=layouts,
 )
-def test_shard_invariants_hold_everywhere(n, world, seed, epoch, drop_last):
-    shards = shards_for(n, world, seed, drop_last)
+def test_shard_invariants_hold_everywhere(n, world, seed, epoch, drop_last, layout):
+    shards = shards_for(n, world, seed, drop_last, layout=layout)
     assert_invariants(shards, n, epoch)
 
 
@@ -76,12 +81,34 @@ def test_shard_invariants_hold_everywhere(n, world, seed, epoch, drop_last):
     seed=st.integers(min_value=0, max_value=2**16),
     epoch=st.integers(min_value=0, max_value=8),
     drop_last=st.booleans(),
+    layout=layouts,
 )
-def test_shard_epochs_are_deterministic_under_seed(n, world, seed, epoch, drop_last):
-    first = shards_for(n, world, seed, drop_last)
-    second = shards_for(n, world, seed, drop_last)
+def test_shard_epochs_are_deterministic_under_seed(
+    n, world, seed, epoch, drop_last, layout
+):
+    first = shards_for(n, world, seed, drop_last, layout=layout)
+    second = shards_for(n, world, seed, drop_last, layout=layout)
     for a, b in zip(first, second):
         assert a.epoch(epoch) == b.epoch(epoch)
+
+
+@SETTINGS
+@given(
+    n=st.integers(min_value=1, max_value=400),
+    world=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+    epoch=st.integers(min_value=1, max_value=8),
+    drop_last=st.booleans(),
+)
+def test_block_layout_fixes_the_index_set_across_epochs(
+    n, world, seed, epoch, drop_last
+):
+    """The block layout's cache-warmth guarantee: a rank revisits the same
+    indices every epoch (in a fresh within-block order), so its page cache
+    working set never changes between membership changes."""
+    for shard in shards_for(n, world, seed, drop_last, layout="block"):
+        assert set(shard.epoch(epoch)) == set(shard.epoch(0))
+        assert shard.shard_indices() == frozenset(shard.epoch(epoch))
 
 
 @SETTINGS
@@ -92,18 +119,23 @@ def test_shard_epochs_are_deterministic_under_seed(n, world, seed, epoch, drop_l
     worlds=st.lists(
         st.integers(min_value=1, max_value=8), min_size=1, max_size=5
     ),
+    layout=layouts,
 )
-def test_reshard_sequences_preserve_invariants(n, seed, drop_last, worlds):
+def test_reshard_sequences_preserve_invariants(n, seed, drop_last, worlds, layout):
     """Fold an arbitrary membership-change sequence through reshard():
     every intermediate world still satisfies the contract, and a resharded
     sampler is indistinguishable from one built fresh for the new world."""
-    current = ShardedSampler(n, rank=0, world_size=worlds[0], seed=seed, drop_last=drop_last)
+    current = ShardedSampler(
+        n, rank=0, world_size=worlds[0], seed=seed, drop_last=drop_last,
+        layout=layout,
+    )
     assert_invariants(
         [current.reshard(worlds[0], r) for r in range(worlds[0])], n, epoch=0
     )
     for step, world in enumerate(worlds[1:], start=1):
         reshards = [current.reshard(world, rank, epoch_offset=step) for rank in range(world)]
-        fresh = shards_for(n, world, seed, drop_last, epoch_offset=step)
+        assert all(r.layout == layout for r in reshards)
+        fresh = shards_for(n, world, seed, drop_last, epoch_offset=step, layout=layout)
         for epoch in (0, 1):
             assert_invariants(reshards, n, epoch)
             for resharded, rebuilt in zip(reshards, fresh):

@@ -92,6 +92,151 @@ def test_shard_reshuffles_between_epochs():
 
 
 # ---------------------------------------------------------------------------
+# Block layout + locality-preserving slot assignment
+# ---------------------------------------------------------------------------
+
+
+def block_sets(n, world, seed=0):
+    return {
+        rank: ShardedSampler(
+            n, rank=rank, world_size=world, seed=seed, layout="block"
+        ).shard_indices()
+        for rank in range(world)
+    }
+
+
+def test_block_layout_partitions_and_reshuffles_within():
+    shards = [
+        ShardedSampler(96, rank=r, world_size=4, seed=5, layout="block")
+        for r in range(4)
+    ]
+    sets = [s.shard_indices() for s in shards]
+    assert set().union(*sets) == set(range(96))
+    assert sum(len(x) for x in sets) == 96  # disjoint on even division
+    for s in shards:
+        assert s.epoch(0) != s.epoch(1)  # fresh within-block order...
+        assert set(s.epoch(0)) == set(s.epoch(1))  # ...over the same set
+
+
+def test_block_layout_rejects_bad_name():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        ShardedSampler(10, rank=0, world_size=2, layout="diagonal")
+
+
+def test_stride_assignment_is_positional():
+    from repro.data.samplers import ShardAssignment
+
+    policy = ShardAssignment("stride")
+    assert policy.layout == "stride"
+    assert policy.assign([5, 2, 9], {}, n=96) == {2: 0, 5: 1, 9: 2}
+
+
+def test_locality_assignment_beats_positional_on_a_head_leave():
+    """Node 0 of [0..3] leaves.  Positional slots would shift every
+    survivor one block left (overlap 8/16/24 of 40); the order-preserving
+    optimal matching keeps each survivor on its own region (24/16/8 on the
+    *matching* slots, total 48 either way here, but per-node stable) --
+    crucially node 3 keeps the tail block instead of being re-cut."""
+    from repro.data.samplers import ShardAssignment
+
+    n, seed = 96, 0
+    old = block_sets(n, 4, seed)
+    previous = {node: old[node] for node in (1, 2, 3)}
+    assignment = ShardAssignment("locality").assign(
+        [1, 2, 3], previous, n, seed=seed
+    )
+    new = block_sets(n, 3, seed)
+    # order-preserving: survivors keep their relative block order
+    assert [assignment[node] for node in (1, 2, 3)] == [0, 1, 2]
+    total = sum(len(previous[node] & new[assignment[node]]) for node in (1, 2, 3))
+    # optimal for these intervals: 8 + 16 + 24
+    assert total == 48
+
+
+def test_locality_assignment_keeps_survivors_on_their_blocks_on_join():
+    """2 -> 3 nodes: both survivors' new (smaller) blocks nest inside
+    their old ones -- full overlap -- and the joiner takes the leftover
+    middle slot."""
+    from repro.data.samplers import ShardAssignment
+
+    n, seed = 96, 0
+    previous = block_sets(n, 2, seed)
+    assignment = ShardAssignment("locality").assign(
+        [0, 1, 7], previous, n, seed=seed
+    )
+    new = block_sets(n, 3, seed)
+    for node in (0, 1):
+        got = new[assignment[node]]
+        assert len(got & previous[node]) == len(got)  # fully nested
+    assert assignment[7] == (set(range(3)) - {assignment[0], assignment[1]}).pop()
+
+
+def test_locality_assignment_is_optimal_where_greedy_is_not():
+    """Greedy by best single overlap would give node 3 the tail block
+    (24), then node 1 the middle (16), starving node 2 entirely (total
+    40); the DP's non-crossing matching reaches 48."""
+    from repro.data.samplers import ShardAssignment
+
+    n, seed = 96, 0
+    old = block_sets(n, 4, seed)
+    previous = {node: old[node] for node in (1, 2, 3)}
+    assignment = ShardAssignment("locality").assign(
+        [1, 2, 3], previous, n, seed=seed
+    )
+    new = block_sets(n, 3, seed)
+    total = sum(len(previous[node] & new[assignment[node]]) for node in (1, 2, 3))
+    assert total > 40
+
+
+def test_locality_assignment_without_history_is_positional():
+    from repro.data.samplers import ShardAssignment
+
+    policy = ShardAssignment("locality")
+    assert policy.layout == "block"
+    assert policy.assign([3, 1], {}, n=96) == {1: 0, 3: 1}
+
+
+def test_shard_assignment_rejects_unknown_policy():
+    from repro.data.samplers import ShardAssignment
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        ShardAssignment("round-robin")
+
+
+def test_sim_loaders_honor_shard_layout():
+    """Standalone sharded sim loaders (no elastic executor injecting a
+    sampler) build their own shard from `shard_layout`; DALI's per-GPU
+    subdivision keeps the layout so GPU streams are sub-blocks."""
+    from repro.sim.loaders import SimDALILoader
+    from repro.sim.runner import make_sim_loader
+
+    workload = make_workload("speech_3s", dataset_size=96).scaled(0.02)
+    env = Environment()
+    ctx = SimContext(env, workload, CONFIG_A, 1)
+    loader = make_sim_loader(
+        "minato", shard_rank=1, shard_world_size=2, shard_layout="block",
+        total_batches_override=1,
+    )
+    loader.start(ctx)
+    assert loader.sampler.layout == "block"
+    assert loader.sampler.shard_indices() == ShardedSampler(
+        96, rank=1, world_size=2, layout="block"
+    ).shard_indices()
+
+    dali = SimDALILoader(shard_rank=0, shard_world_size=2, shard_layout="block")
+    dali.ctx = SimContext(Environment(), workload, CONFIG_A, 2)
+    dali.total_batches_override = 2
+    node_block = ShardedSampler(96, rank=0, world_size=2, layout="block").shard_indices()
+    for gpu in range(2):
+        stream = dali._shard_stream(gpu)
+        one_pass = {next(stream) for _ in range(24)}  # (node 0, gpu) shard
+        assert one_pass <= node_block  # per-GPU sub-block nests in the node block
+
+
+# ---------------------------------------------------------------------------
 # Threaded MinatoLoader with a ShardedSampler (deadlock regression)
 # ---------------------------------------------------------------------------
 

@@ -367,3 +367,87 @@ def test_bandwidth_pipe_backlog():
     disk = BandwidthPipe(env, bandwidth=1.0)
     disk.transfer(10)
     assert disk.backlog == pytest.approx(10.0)
+
+
+def test_bandwidth_pipe_latency_only_backlog_stays_zero():
+    """Regression: latency is propagation delay, not pipe occupancy.  A
+    backlog of latency-only transfers (zero bytes) must leave the pipe
+    free: the old model folded latency into available_at, so N queued
+    readers serialized N latencies."""
+    env = Environment()
+    pipe = BandwidthPipe(env, bandwidth=1e9, latency=0.25)
+    for _ in range(8):
+        pipe.transfer(0)
+    assert pipe.backlog == 0.0
+
+
+def test_bandwidth_pipe_queued_readers_overlap_latency():
+    """Two queued transfers: the second starts as soon as the first's
+    *bytes* drain and completes one latency after its own bytes -- not one
+    latency per queued predecessor."""
+    env = Environment()
+    pipe = BandwidthPipe(env, bandwidth=100.0, latency=0.5)
+    done = []
+
+    def reader(tag):
+        yield pipe.transfer(100)
+        done.append((tag, env.now))
+
+    env.process(reader("a"))
+    env.process(reader("b"))
+    env.run()
+    # a: bytes drain [0,1], +0.5 latency; b: bytes drain [1,2], +0.5
+    assert done == [("a", pytest.approx(1.5)), ("b", pytest.approx(2.5))]
+
+
+def test_bandwidth_pipe_latency_only_readers_complete_together():
+    env = Environment()
+    pipe = BandwidthPipe(env, bandwidth=1e9, latency=0.5)
+    done = []
+
+    def reader():
+        yield pipe.transfer(0)
+        done.append(env.now)
+
+    for _ in range(5):
+        env.process(reader())
+    env.run()
+    assert done == [pytest.approx(0.5)] * 5
+
+
+def test_bandwidth_pipe_throughput_series_matches_quadratic_reference():
+    """The linear-sweep rewrite must agree with the per-transfer bucket
+    walk it replaced, on an awkward mix of overlapping transfers."""
+    env = Environment()
+    pipe = BandwidthPipe(env, bandwidth=8.0, latency=0.3)
+
+    def reader(delay, nbytes):
+        if delay:
+            yield env.timeout(delay)
+        yield pipe.transfer(nbytes)
+
+    for delay, nbytes in [(0.0, 20), (0.0, 4), (1.7, 9), (2.0, 0), (6.5, 31)]:
+        env.process(reader(delay, nbytes))
+    env.run()
+
+    def reference(transfers, bucket):
+        horizon = max(finish for _s, finish, _n in transfers)
+        volume = [0.0] * (int(horizon / bucket) + 1)
+        for start, finish, nbytes in transfers:
+            duration = max(finish - start, 1e-12)
+            rate = nbytes / duration
+            for i in range(int(start / bucket), int(finish / bucket) + 1):
+                lo, hi = max(start, i * bucket), min(finish, (i + 1) * bucket)
+                if hi > lo:
+                    volume[i] += rate * (hi - lo)
+        return [(i * bucket, v / bucket) for i, v in enumerate(volume)]
+
+    for bucket in (0.25, 1.0, 3.0):
+        series = pipe.throughput_series(bucket=bucket)
+        expected = reference(pipe.transfers, bucket)
+        assert len(series) == len(expected)
+        for (t_got, rate_got), (t_want, rate_want) in zip(series, expected):
+            assert t_got == pytest.approx(t_want)
+            assert rate_got == pytest.approx(rate_want)
+    total = sum(rate * 0.25 for _t, rate in pipe.throughput_series(bucket=0.25))
+    assert total == pytest.approx(20 + 4 + 9 + 31)

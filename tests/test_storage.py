@@ -84,6 +84,51 @@ def test_cache_eviction_respects_capacity():
     assert cache.used_bytes <= 10 * MB
 
 
+def test_cache_hit_with_new_size_reaccounts_used_bytes():
+    """Regression: re-accessing a key with a different nbytes must update
+    the stored entry; the old code left _used permanently wrong."""
+    cache = PageCache(capacity_bytes=10 * MB)
+    cache.access(1, 4 * MB)
+    assert cache.access(1, 6 * MB) is True  # grew
+    assert cache.used_bytes == 6 * MB
+    assert cache.access(1, 2 * MB) is True  # shrank
+    assert cache.used_bytes == 2 * MB
+    cache.invalidate(1)
+    assert cache.used_bytes == 0  # no drift left behind
+
+
+def test_cache_hit_growth_evicts_to_fit():
+    cache = PageCache(capacity_bytes=10 * MB)
+    cache.access(1, 4 * MB)
+    cache.access(2, 4 * MB)
+    cache.access(1, 8 * MB)  # 1 grows; LRU entry 2 must go
+    assert 1 in cache
+    assert 2 not in cache
+    assert cache.used_bytes == 8 * MB
+    assert cache.evictions == 1
+
+
+def test_cache_hit_growing_past_capacity_drops_the_entry():
+    cache = PageCache(capacity_bytes=10 * MB)
+    cache.access(1, 4 * MB)
+    assert cache.access(1, 12 * MB) is True  # hit, but now uncacheable
+    assert 1 not in cache
+    assert cache.used_bytes == 0
+
+
+def test_cache_snapshot_delta_windows_counters():
+    cache = PageCache(capacity_bytes=100 * MB)
+    cache.access(1, MB)
+    before = cache.snapshot()
+    cache.access(1, MB)
+    cache.access(2, 2 * MB)
+    delta = cache.snapshot().delta(before)
+    assert delta.hits == 1 and delta.misses == 1
+    assert delta.hit_bytes == MB and delta.miss_bytes == 2 * MB
+    assert delta.used_bytes == 3 * MB and delta.entries == 2
+    assert delta.hit_rate == pytest.approx(0.5)
+
+
 # ---------------------------------------------------------------------------
 # StorageSpec / StorageModel
 # ---------------------------------------------------------------------------
