@@ -13,3 +13,19 @@ def test_distributed_elastic(run_experiment):
     report = run_experiment(distributed.run_elastic_experiment)
     assert report.data["results"]
     assert report.data["fabric_runs"]
+
+
+def test_distributed_overlap(run_experiment, benchmark):
+    """Topology x overlap matrix; per-arm exposed sync lands in the
+    benchmark JSON so CI can diff the hierarchical/overlap arm against the
+    flat-ring baseline and fail loudly on a regression."""
+    report = run_experiment(distributed.run_overlap_experiment)
+    for (topo, mode), result in report.data["results"].items():
+        prefix = f"{topo}_{mode}"
+        benchmark.extra_info[f"exposed_sync_{prefix}"] = (
+            result.exposed_sync_seconds
+        )
+        benchmark.extra_info[f"sync_total_{prefix}"] = (
+            result.sync_seconds_total
+        )
+        benchmark.extra_info[f"steps_{prefix}"] = result.steps

@@ -52,19 +52,45 @@ def _cmd_run(args) -> int:
 
 def _cmd_distributed(args) -> int:
     """Shortcut for the distributed experiments: ``--elastic`` runs the
-    churn/failure membership scenarios on the modelled ring fabric, and
+    churn/failure membership scenarios on the modelled ring fabric,
     ``--reshard`` picks the elastic re-shard policy (``locality`` keeps
-    survivors on overlapping shard blocks so their page caches stay warm)."""
+    survivors on overlapping shard blocks so their page caches stay warm),
+    and ``--fabric`` / ``--overlap`` / ``--buckets`` run the
+    topology-overlap matrix ({flat, hierarchical} x {serial, overlap})
+    featuring the requested arm."""
+    wants_overlap_matrix = (
+        args.fabric is not None or args.overlap or args.buckets is not None
+    )
     if args.reshard != "stride" and not args.elastic:
         print("--reshard applies to elastic runs; pass --elastic", file=sys.stderr)
         return 2
-    experiment_id = "distributed_elastic" if args.elastic else "distributed"
+    if wants_overlap_matrix and args.elastic:
+        print(
+            "--fabric/--overlap/--buckets run the static topology-overlap "
+            "matrix; they cannot be combined with --elastic",
+            file=sys.stderr,
+        )
+        return 2
+    if args.buckets is not None and args.buckets < 1:
+        print(f"--buckets must be >= 1, got {args.buckets}", file=sys.stderr)
+        return 2
+    if args.elastic:
+        experiment_id = "distributed_elastic"
+    elif wants_overlap_matrix:
+        experiment_id = "distributed_overlap"
+    else:
+        experiment_id = "distributed"
     runner = REGISTRY[experiment_id]
     kwargs = {}
     if args.scale is not None:
         kwargs["scale"] = args.scale
     if args.elastic:
         kwargs["reshard"] = args.reshard
+    if experiment_id == "distributed_overlap":
+        kwargs["topology"] = args.fabric if args.fabric is not None else "flat"
+        kwargs["overlap"] = args.overlap
+        if args.buckets is not None:
+            kwargs["buckets"] = args.buckets
     result = runner(**kwargs)
     print(result.render())
     if args.output:
@@ -109,6 +135,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             "locality (contiguous blocks, survivors keep overlapping "
             "shards so their page caches stay warm)"
         ),
+    )
+    dist_parser.add_argument(
+        "--fabric",
+        choices=["flat", "hierarchical"],
+        default=None,
+        help=(
+            "collective topology for the overlap matrix: flat (one "
+            "world-wide NIC ring) or hierarchical (intra-node NVLink "
+            "rings + one inter-node NIC ring)"
+        ),
+    )
+    dist_parser.add_argument(
+        "--overlap",
+        action="store_true",
+        help=(
+            "bucket gradients and launch each bucket's collective as its "
+            "slice of backward completes (reports exposed vs total sync)"
+        ),
+    )
+    dist_parser.add_argument(
+        "--buckets",
+        type=int,
+        default=None,
+        help="gradient buckets per step for the overlap arms (default 4)",
     )
     dist_parser.add_argument("--scale", type=float, default=None)
     dist_parser.add_argument("--output", default=None, help="directory for reports")

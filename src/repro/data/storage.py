@@ -185,6 +185,25 @@ class PageCache:
             if size is not None:
                 self._used -= size
 
+    def stale_bytes(self, owned) -> float:
+        """Bytes cached for keys outside ``owned`` (invalidation pressure).
+
+        After a shard re-assignment a node may still hold entries for
+        samples it no longer owns; until natural LRU churn evicts them they
+        occupy capacity without any chance of a hit.  This reports that
+        abandoned footprint so re-shard policies account for it as memory
+        pressure instead of silently inflating hit rates.
+        """
+        owned_keys = set(owned)
+        with self._lock:
+            return float(
+                sum(
+                    size
+                    for key, size in self._entries.items()
+                    if key not in owned_keys
+                )
+            )
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -50,6 +50,7 @@ REGISTRY: Dict[str, Callable[[], ExperimentReport]] = {
     "ablations": ablations.run,
     "distributed": distributed.run,
     "distributed_elastic": distributed.run_elastic_experiment,
+    "distributed_overlap": distributed.run_overlap_experiment,
 }
 
 __all__ = [

@@ -11,9 +11,13 @@ from .fabric import RingFabric
 from .kernel import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
 from .resources import BandwidthPipe, Request, Resource
 from .stores import PriorityStore, Store
+from .topology import FlatRing, Hierarchical, Topology
 
 __all__ = [
     "RingFabric",
+    "Topology",
+    "FlatRing",
+    "Hierarchical",
     "Environment",
     "Event",
     "Timeout",

@@ -25,6 +25,18 @@ samples a disjoint, equal-length slice of every epoch's global shuffle
 cluster collectively covers the dataset once per epoch instead of every
 node redundantly processing all of it.
 
+Synchronization is layered: a *topology* (:mod:`repro.sim.topology`) owns
+the links -- ``topology="flat"`` is one world-wide NIC-class ring,
+``"hierarchical"`` puts each node's GPUs on fast intra-node (NVLink-class)
+links with one NIC-class inter-node ring -- the *collective layer*
+(:mod:`repro.sim.fabric`) executes ring ``reduce_scatter`` / ``all_gather``
+primitives over those links, and the *step loop* here splits each step's
+gradient into ``buckets`` slices whose collectives launch as soon as their
+slice of backward completes (``overlap=True``), so synchronization hides
+behind backprop and only the non-overlapped remainder
+(``exposed_sync_seconds``) extends the step -- PyTorch DDP's gradient
+bucketing over NCCL's hierarchical rings, in model form.
+
 :func:`run_elastic` is the round executor: it runs a
 :class:`ClusterMembership` schedule of join/leave/fail events with
 epoch-boundary re-sharding (every surviving node's sampler is re-derived via
@@ -57,6 +69,7 @@ from .fabric import RingFabric
 from .kernel import AllOf, Environment, Interrupt
 from .loaders import SimContext
 from .runner import make_sim_loader
+from .topology import TOPOLOGIES, Hierarchical, Topology
 from .workloads import HardwareConfig, WorkloadSpec
 
 __all__ = [
@@ -82,29 +95,87 @@ class AllReduceModel:
     #: interconnect bandwidth per node (bytes/s)
     bandwidth: float = 25e9  # 200 Gb/s
 
-    def step_cost(self, world_size: int) -> float:
-        """Closed-form ring all-reduce: 2(W-1) stages, each one hop of
-        latency plus one gradient chunk (``gradient_bytes / W``) over the
-        per-rank link.  This is exactly what the modelled
-        :class:`~repro.sim.fabric.RingFabric` converges to on a homogeneous
-        cluster where every rank enters the collective together."""
+    def step_cost(
+        self, world_size: int, nbytes: Optional[float] = None
+    ) -> float:
+        """Closed-form flat ring all-reduce: 2(W-1) stages, each one hop of
+        latency plus one chunk (``nbytes / W``, defaulting to the full
+        ``gradient_bytes``) over the per-rank link.  This is exactly what
+        the modelled :class:`~repro.sim.fabric.RingFabric` converges to on
+        a homogeneous cluster where every rank enters the collective
+        together."""
         if world_size <= 1:
             return 0.0
+        nbytes = self.gradient_bytes if nbytes is None else nbytes
         stages = 2 * (world_size - 1)
-        return stages * (
-            self.latency + self.gradient_bytes / (world_size * self.bandwidth)
-        )
+        return stages * (self.latency + nbytes / (world_size * self.bandwidth))
+
+    def hierarchical_step_cost(
+        self,
+        nodes: int,
+        gpus_per_node: int,
+        intra_latency: float,
+        intra_bandwidth: float,
+        nbytes: Optional[float] = None,
+    ) -> float:
+        """Closed-form hierarchical all-reduce over ``nodes`` x ``G`` ranks.
+
+        Intra-node reduce + broadcast are ring passes over the node's ``G``
+        GPUs on intra-node links (``2(G-1)`` stages of ``nbytes / G``
+        chunks); the inter-node phase is a ring all-reduce of each GPU's
+        ``nbytes / G`` shard across nodes through the NIC's per-stream fair
+        share (``2(N-1)`` stages moving ``nbytes / N`` per node per
+        stage)::
+
+            2(G-1) (l_intra + B / (G bw_intra)) + 2(N-1) (l + B / (N bw))
+
+        Only ``1/G`` of the gradient crosses a NIC and the inter-node
+        latency term pays ``2(N-1)`` hops instead of the flat ring's
+        ``2(NG-1)``.  The modelled hierarchical fabric converges to this
+        exactly on homogeneous clusters (cross-checked in tests).
+        """
+        if nodes < 1 or gpus_per_node < 1:
+            raise ConfigurationError(
+                f"nodes and gpus_per_node must be >= 1, got "
+                f"{nodes!r} x {gpus_per_node!r}"
+            )
+        if intra_bandwidth <= 0:
+            raise ConfigurationError(
+                f"intra_bandwidth must be positive, got {intra_bandwidth!r}"
+            )
+        if intra_latency < 0:
+            raise ConfigurationError(
+                f"intra_latency must be >= 0, got {intra_latency!r}"
+            )
+        nbytes = self.gradient_bytes if nbytes is None else nbytes
+        intra = 0.0
+        if gpus_per_node > 1:
+            intra = 2 * (gpus_per_node - 1) * (
+                intra_latency + nbytes / (gpus_per_node * intra_bandwidth)
+            )
+        inter = 0.0
+        if nodes > 1:
+            inter = 2 * (nodes - 1) * (
+                self.latency + nbytes / (nodes * self.bandwidth)
+            )
+        return intra + inter
 
     def make_fabric(
-        self, env: Environment, detection_timeout: float = 1.0
+        self,
+        env: Environment,
+        detection_timeout: float = 1.0,
+        topology: Optional[Topology] = None,
     ) -> RingFabric:
-        """A modelled ring fabric with this model's link parameters."""
+        """A modelled fabric with this model's link parameters.
+
+        ``topology`` defaults to the flat world-wide ring."""
         return RingFabric(
             env,
             latency=self.latency,
             bandwidth=self.bandwidth,
             gradient_bytes=self.gradient_bytes,
             detection_timeout=detection_timeout,
+            topology=topology,
         )
 
 
@@ -294,9 +365,26 @@ class DistributedResult:
     cpu_utilization: float
     #: total seconds ranks spent synchronizing gradients; in ring-fabric
     #: mode this includes time waiting on late ring neighbors (that wait is
-    #: the coupling the fabric models), in analytic mode it is steps x the
-    #: closed-form cost
+    #: the coupling the fabric models), in analytic serial mode it is
+    #: steps x the closed-form cost.  With ``overlap=True`` this counts
+    #: every bucket collective's full duration even while it runs under
+    #: backprop -- compare ``exposed_sync_seconds`` for the part that
+    #: actually extended the step.
     sync_seconds_total: float = 0.0
+    #: seconds of synchronization *not* hidden behind backprop (summed over
+    #: ranks): in serial mode this equals ``sync_seconds_total``; with
+    #: bucketed overlap it is each step's wait after the last compute slice
+    #: finished.  Always <= ``sync_seconds_total``.
+    exposed_sync_seconds: float = 0.0
+    #: total gradient bytes each rank pushed through collectives (summed
+    #: over ranks); bucketing re-slices but never changes this
+    gradient_bytes_synced: float = 0.0
+    #: which link topology the collectives ran over ("flat"/"hierarchical")
+    topology: str = "flat"
+    #: whether bucket collectives launched during backprop
+    overlap: bool = False
+    #: gradient bucket count per step
+    buckets: int = 1
     #: per-node samples per epoch, measured from each loader's own sampler
     #: (elastic runs: the *final* epoch's shards; see epoch_shard_sizes)
     shard_sizes: List[int] = field(default_factory=list)
@@ -330,6 +418,15 @@ class DistributedResult:
     #: that round; miss bytes after a membership change are the re-shard's
     #: cache-warmup cost
     epoch_cache_deltas: List[List[CacheSnapshot]] = field(default_factory=list)
+    #: per-epoch, per-node *stale* cache bytes measured right after the
+    #: round's re-shard (aligned with epoch_membership): bytes cached for
+    #: samples the node no longer owns.  A locality re-shard that abandons
+    #: part of a survivor's old block shows up here as invalidation
+    #: pressure instead of silently inflating hit rates.
+    epoch_stale_bytes: List[List[float]] = field(default_factory=list)
+    #: page-cache capacity (bytes) per node, aligned with node_ids --
+    #: heterogeneous when node_hardware overrides cache_fraction
+    per_node_cache_bytes: List[float] = field(default_factory=list)
 
     @property
     def world_size(self) -> int:
@@ -342,6 +439,22 @@ class DistributedResult:
             float(sum(delta.miss_bytes for delta in round_deltas))
             for round_deltas in self.epoch_cache_deltas
         ]
+
+    @property
+    def epoch_stale_bytes_total(self) -> List[float]:
+        """Cluster-wide invalidation pressure per epoch (summed over
+        nodes): cached bytes for samples the re-shard took away."""
+        return [
+            float(sum(row)) for row in self.epoch_stale_bytes
+        ]
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of synchronization hidden behind backprop
+        (0 for serial runs with nonzero sync)."""
+        if self.sync_seconds_total <= 0:
+            return 0.0
+        return 1.0 - self.exposed_sync_seconds / self.sync_seconds_total
 
     @property
     def epoch_mean_overlap(self) -> List[float]:
@@ -362,7 +475,7 @@ def run_distributed(
     workload: WorkloadSpec,
     hardware: HardwareConfig,
     nodes: int,
-    gpus_per_node: int = 1,
+    gpus_per_node: Optional[int] = None,
     allreduce: Optional[AllReduceModel] = None,
     loader_kwargs: Optional[dict] = None,
     steps_per_gpu: Optional[int] = None,
@@ -370,6 +483,9 @@ def run_distributed(
     fabric: str = "analytic",
     reshard: str = "stride",
     cache_fraction: float = 0.8,
+    topology: str = "flat",
+    overlap: bool = False,
+    buckets: int = 1,
 ) -> DistributedResult:
     """Simulate data-parallel training across ``nodes`` machines.
 
@@ -401,6 +517,8 @@ def run_distributed(
             f"node_hardware must list one config per node: "
             f"got {len(node_hardware)} for {nodes} nodes"
         )
+    gpus_per_node = _resolve_gpus_per_node(gpus_per_node, hardware)
+    _validate_step_loop_args(gpus_per_node, buckets, topology)
     world = nodes * gpus_per_node
     total_steps: Optional[int] = None
     if steps_per_gpu is not None:
@@ -425,7 +543,43 @@ def run_distributed(
         total_steps=total_steps,
         reshard=reshard,
         cache_fraction=cache_fraction,
+        topology=topology,
+        overlap=overlap,
+        buckets=buckets,
     )
+
+
+def _resolve_gpus_per_node(
+    gpus_per_node: Optional[int], hardware: HardwareConfig
+) -> int:
+    """Explicit argument > ``hardware.gpus_per_node`` > 1."""
+    if gpus_per_node is None:
+        gpus_per_node = (
+            hardware.gpus_per_node if hardware.gpus_per_node is not None else 1
+        )
+    return gpus_per_node
+
+
+def _validate_step_loop_args(
+    gpus_per_node: int, buckets: int, topology: str
+) -> None:
+    """Reject malformed step-loop arguments at the entry point, with the
+    same explicit message style as the ``node_hardware`` length check --
+    a zero/negative count would otherwise surface as a divide-by-zero (or a
+    silently empty round) deep inside the round executor."""
+    if not isinstance(gpus_per_node, int) or gpus_per_node < 1:
+        raise ConfigurationError(
+            f"gpus_per_node must be a positive integer, got {gpus_per_node!r}"
+        )
+    if not isinstance(buckets, int) or buckets < 1:
+        raise ConfigurationError(
+            f"buckets must be a positive integer (gradient bucket count "
+            f"per step), got {buckets!r}"
+        )
+    if topology not in TOPOLOGIES:
+        raise ConfigurationError(
+            f"topology must be one of {TOPOLOGIES}, got {topology!r}"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -438,7 +592,7 @@ def run_elastic(
     workload: WorkloadSpec,
     hardware: HardwareConfig,
     membership: ClusterMembership,
-    gpus_per_node: int = 1,
+    gpus_per_node: Optional[int] = None,
     allreduce: Optional[AllReduceModel] = None,
     loader_kwargs: Optional[dict] = None,
     epochs: Optional[int] = None,
@@ -448,6 +602,9 @@ def run_elastic(
     reshard: str = "stride",
     total_steps: Optional[int] = None,
     cache_fraction: float = 0.8,
+    topology: str = "flat",
+    overlap: bool = False,
+    buckets: int = 1,
 ) -> DistributedResult:
     """Simulate elastic data-parallel training over a membership schedule.
 
@@ -484,16 +641,27 @@ def run_elastic(
 
     ``node_hardware`` maps node id -> config (joining nodes included);
     unlisted nodes run ``hardware``.  ``cache_fraction`` sizes every
-    node's page cache (fraction of its hardware's memory).
+    node's page cache (fraction of its hardware's memory); a node whose
+    config sets its own ``cache_fraction`` overrides it (heterogeneous
+    cache sizes).
+
+    ``topology`` selects the collective link layout (``"flat"``: one
+    world-wide NIC ring; ``"hierarchical"``: intra-node NVLink-class rings
+    plus one inter-node NIC ring, using each node's
+    ``intra_node_bandwidth`` / ``intra_node_latency``).  ``buckets`` splits
+    every step's gradient into that many slices, each synchronized by its
+    own collective; with ``overlap=True`` a bucket's collective launches as
+    soon as its slice of backward completes, so only the non-overlapped
+    remainder (reported as ``exposed_sync_seconds``) extends the step.
+    ``topology="flat", overlap=False, buckets=1`` reproduces the
+    pre-refactor runner exactly (equivalence-pinned in tests).
     """
     if fabric not in FABRICS:
         raise ConfigurationError(
             f"fabric must be one of {FABRICS}, got {fabric!r}"
         )
-    if gpus_per_node < 1:
-        raise ConfigurationError(
-            f"gpus_per_node must be >= 1, got {gpus_per_node!r}"
-        )
+    gpus_per_node = _resolve_gpus_per_node(gpus_per_node, hardware)
+    _validate_step_loop_args(gpus_per_node, buckets, topology)
     assignment = ShardAssignment(reshard)
     allreduce = allreduce if allreduce is not None else AllReduceModel()
     base_kwargs = dict(loader_kwargs or {})
@@ -536,7 +704,23 @@ def run_elastic(
     env = Environment()
     ring: Optional[RingFabric] = None
     if fabric == "ring":
-        ring = allreduce.make_fabric(env, detection_timeout=detection_timeout)
+        topo = None
+        if topology == "hierarchical":
+            topo = Hierarchical(
+                env,
+                latency=allreduce.latency,
+                bandwidth=allreduce.bandwidth,
+                intra_latency=hardware.intra_node_latency,
+                intra_bandwidth=hardware.intra_node_bandwidth,
+                gpus_per_node=gpus_per_node,
+                intra_params={
+                    node: (hw.intra_node_latency, hw.intra_node_bandwidth)
+                    for node, hw in hw_map.items()
+                },
+            )
+        ring = allreduce.make_fabric(
+            env, detection_timeout=detection_timeout, topology=topo
+        )
 
     # one template loader: every per-(node, epoch) clone shares its
     # per-sample cost memos
@@ -549,12 +733,19 @@ def run_elastic(
     deactivated_at: Dict[int, float] = {}
     consumed: Set[int] = set()
 
-    counters = {"steps": 0, "samples": 0, "sync": 0.0}
+    counters = {
+        "steps": 0,
+        "samples": 0,
+        "sync": 0.0,
+        "exposed": 0.0,
+        "grad_bytes": 0.0,
+    }
     epoch_membership: List[List[int]] = []
     epoch_shard_sizes: List[List[int]] = []
     epoch_coverage: List[int] = []
     epoch_shard_overlap: List[List[float]] = []
     epoch_cache_deltas: List[List[CacheSnapshot]] = []
+    epoch_stale_bytes: List[List[float]] = []
     #: each node's shard index set from the round before (locality input
     #: and overlap-reporting baseline)
     prev_shards: Dict[int, frozenset] = {}
@@ -639,17 +830,31 @@ def run_elastic(
                     epoch_offset=round_index,
                     layout=assignment.layout,
                 )
+                node_hw = hw_for(node)
                 contexts[node] = SimContext(
                     env,
                     workload,
-                    hw_for(node),
+                    node_hw,
                     gpus_per_node,
-                    cache_fraction=cache_fraction,
+                    # a node's own config overrides the run-wide fraction
+                    # (per-node cache-size heterogeneity)
+                    cache_fraction=(
+                        node_hw.cache_fraction
+                        if node_hw.cache_fraction is not None
+                        else cache_fraction
+                    ),
                 )
                 activated_at[node] = boundary_now
         round_shards = {
             node: samplers[node].shard_indices() for node in round_nodes
         }
+        # invalidation pressure: bytes each survivor still caches for
+        # samples its new shard no longer owns (measured at the re-shard,
+        # before the round warms anything up)
+        round_stale = [
+            contexts[node].cache.stale_bytes(round_shards[node])
+            for node in round_nodes
+        ]
         round_overlap = [
             (
                 len(round_shards[node] & prev_shards[node])
@@ -738,9 +943,24 @@ def run_elastic(
         if ring is not None:
             ring.set_ring(round_ranks)
         barrier.set_members(round_ranks)
-        sync_cost = allreduce.step_cost(world_ranks)
+        # one collective per gradient bucket: each moves bucket_bytes and,
+        # on the analytic fabric, costs the closed form for that slice
+        # (hierarchical when the topology says so)
+        bucket_bytes = allreduce.gradient_bytes / buckets
+        if topology == "hierarchical":
+            bucket_cost = allreduce.hierarchical_step_cost(
+                world_nodes,
+                gpus_per_node,
+                hardware.intra_node_latency,
+                hardware.intra_node_bandwidth,
+                nbytes=bucket_bytes,
+            )
+        else:
+            bucket_cost = allreduce.step_cost(world_ranks, nbytes=bucket_bytes)
         loaders: Dict[int, object] = {}
         round_procs: Dict[int, List] = {}
+        #: in-flight overlapped bucket collectives per node (killed with it)
+        bucket_children: Dict[int, List] = {}
         coverage: Set[int] = set()
         round_steps = {"count": 0}
         round_gen["value"] += 1
@@ -754,6 +974,39 @@ def run_elastic(
                 ring.leave(member)
             else:
                 barrier.remove(member)
+
+        def sync_bucket(member, key, serial: bool):
+            """One bucket's collective as ``member`` (a generator).
+
+            Ring fabric: the measured duration (neighbor waits included)
+            accrues to the sync counter.  Analytic fabric: serial mode
+            charges exactly the closed-form cost (the barrier wait is
+            straggler coupling, not sync -- preserving the pre-refactor
+            accounting the tests pin); overlapped mode measures wall
+            duration like the ring, since the launch-to-done window is
+            what overlap hides.
+            """
+            entered = env.now
+            if ring is not None:
+                yield from ring.allreduce(key, member, nbytes=bucket_bytes)
+                counters["sync"] += env.now - entered
+            else:
+                yield barrier.arrive(key, member)
+                if bucket_cost > 0:
+                    yield env.timeout(bucket_cost)
+                counters["sync"] += (
+                    bucket_cost if serial else env.now - entered
+                )
+            counters["grad_bytes"] += bucket_bytes
+
+        def overlapped_bucket(member, key):
+            """Bucket collective launched during backprop (a process): an
+            interrupt (node failure) abandons it quietly -- the fabric's
+            abort fills in its undelivered chunks for the survivors."""
+            try:
+                yield from sync_bucket(member, key, serial=False)
+            except Interrupt:
+                return
 
         def gpu_proc(node: int, gpu: int, loader, steps: int):
             ctx = contexts[node]
@@ -770,22 +1023,52 @@ def run_elastic(
                     step = workload.model.step_time(
                         batch.size, hw.gpu_type, world_size=1
                     )
-                    yield from ctx.train_step(gpu, step)
-                    counters["steps"] += 1
-                    counters["samples"] += batch.size
-                    round_steps["count"] += 1
-                    if world_ranks > 1:
-                        if ring is not None:
-                            entered = env.now
-                            yield from ring.allreduce(
-                                (this_round, step_index), member
+                    if overlap and world_ranks > 1:
+                        # bucketed backprop: bucket k's gradients are ready
+                        # after the (k+1)-th slice of the step's compute
+                        # (reverse layer order), and its collective runs
+                        # concurrently with the remaining slices
+                        children = []
+                        for k in range(buckets):
+                            yield from ctx.train_step(gpu, step / buckets)
+                            child = env.process(
+                                overlapped_bucket(
+                                    member, (this_round, step_index, k)
+                                )
                             )
-                            counters["sync"] += env.now - entered
-                        else:
-                            yield barrier.arrive((this_round, step_index), member)
-                            if sync_cost > 0:
-                                yield env.timeout(sync_cost)
-                                counters["sync"] += sync_cost
+                            children.append(child)
+                            bucket_children.setdefault(node, []).append(child)
+                        counters["steps"] += 1
+                        counters["samples"] += batch.size
+                        round_steps["count"] += 1
+                        compute_end = env.now
+                        yield AllOf(env, children)
+                        # only the wait past the end of backprop extends
+                        # the step: the exposed (non-overlapped) sync
+                        counters["exposed"] += env.now - compute_end
+                        # this step's children are done: drop them so the
+                        # kill list stays bounded by in-flight buckets,
+                        # not by the round's total step count
+                        node_children = bucket_children[node]
+                        for child in children:
+                            node_children.remove(child)
+                    else:
+                        yield from ctx.train_step(gpu, step)
+                        counters["steps"] += 1
+                        counters["samples"] += batch.size
+                        round_steps["count"] += 1
+                        if world_ranks > 1:
+                            exposed_start = env.now
+                            for k in range(buckets):
+                                yield from sync_bucket(
+                                    member,
+                                    (this_round, step_index, k),
+                                    serial=True,
+                                )
+                            if ring is not None:
+                                counters["exposed"] += env.now - exposed_start
+                            else:
+                                counters["exposed"] += buckets * bucket_cost
                 # ranks with a one-shorter budget must not stall the rest
                 leave_sync(member)
             except Interrupt:
@@ -803,6 +1086,12 @@ def run_elastic(
             for proc in round_procs.get(node, []):
                 if proc.is_alive:
                     proc.interrupt("node-failure")
+            # overlapped bucket collectives launched by the dead node's
+            # ranks must die with them (a ghost sender would keep feeding
+            # the ring after its node is gone)
+            for child in bucket_children.get(node, []):
+                if child.is_alive:
+                    child.interrupt("node-failure")
             for gpu in range(gpus_per_node):
                 if ring is not None:
                     ring.abort((node, gpu))
@@ -870,6 +1159,7 @@ def run_elastic(
         epoch_shard_sizes.append([len(samplers[node]) for node in round_nodes])
         epoch_coverage.append(len(coverage))
         epoch_shard_overlap.append(round_overlap)
+        epoch_stale_bytes.append(round_stale)
         epoch_cache_deltas.append(
             [
                 contexts[node].cache.snapshot().delta(cache_before[node])
@@ -931,6 +1221,11 @@ def run_elastic(
             sum(per_node_cpu) / len(per_node_cpu) if per_node_cpu else 0.0
         ),
         sync_seconds_total=counters["sync"],
+        exposed_sync_seconds=counters["exposed"],
+        gradient_bytes_synced=counters["grad_bytes"],
+        topology=topology,
+        overlap=overlap,
+        buckets=buckets,
         shard_sizes=list(epoch_shard_sizes[-1]) if epoch_shard_sizes else [],
         per_node_cpu_utilization=per_node_cpu,
         node_hardware_names=[hw_for(node).name for node in seen_nodes],
@@ -945,4 +1240,8 @@ def run_elastic(
         reshard_policy=reshard,
         epoch_shard_overlap=epoch_shard_overlap,
         epoch_cache_deltas=epoch_cache_deltas,
+        epoch_stale_bytes=epoch_stale_bytes,
+        per_node_cache_bytes=[
+            contexts[node].cache.capacity_bytes for node in seen_nodes
+        ],
     )

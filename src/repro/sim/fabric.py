@@ -1,49 +1,71 @@
-"""Modelled ring all-reduce network fabric.
+"""Collective layer: modelled ring collectives over a topology.
 
 The closed-form :class:`~repro.sim.distributed.AllReduceModel` charges every
 rank the same per-step constant, so a straggler's lateness (or a mid-step
 failure) is averaged away: it can never delay one ring neighbor more than
-another.  This module replaces the constant with *simulated transfers*: every
-world rank owns one outgoing link (a :class:`~repro.sim.resources.BandwidthPipe`
-with the interconnect's bandwidth and per-hop latency), and one all-reduce is
-a collective of ``2(W-1)`` ring stages -- reduce-scatter then all-gather.  At
-stage ``s`` each rank sends one gradient chunk (``gradient_bytes / W``) to its
-ring successor and cannot enter stage ``s+1`` until it has both finished its
-own send and received its predecessor's stage-``s`` chunk.
+another.  This module replaces the constant with *simulated transfers* over
+the links a :class:`~repro.sim.topology.Topology` owns.
 
-Consequences the closed form cannot express:
+The stack has three layers:
 
-* on a homogeneous cluster where every rank enters together, the collective
-  takes exactly ``2(W-1) * (latency + gradient_bytes / (W * bandwidth))`` --
-  the analytic :meth:`AllReduceModel.step_cost`, which tests cross-check;
+* **topology** (:mod:`repro.sim.topology`): owns per-link
+  :class:`~repro.sim.resources.BandwidthPipe` s and plans which ring
+  phases one all-reduce traverses (:class:`~repro.sim.topology.FlatRing`:
+  one world-wide ring; :class:`~repro.sim.topology.Hierarchical`:
+  intra-node reduce -> inter-node ring all-reduce -> intra-node broadcast);
+* **collectives** (this module): composable ring primitives --
+  :meth:`RingFabric.reduce_scatter` and :meth:`RingFabric.all_gather`, each
+  ``W - 1`` ring stages of ``nbytes / W`` chunks -- with
+  :meth:`RingFabric.allreduce` executing the topology's phase plan;
+* **step loop** (:mod:`repro.sim.distributed`): spawns one collective per
+  gradient bucket, optionally overlapping them with backprop.
+
+At ring stage ``s`` each rank sends one chunk to its ring successor and
+cannot enter stage ``s+1`` until it has both finished its own send and
+received its predecessor's stage-``s`` chunk.  Consequences the closed form
+cannot express:
+
+* on a homogeneous cluster where every rank enters together, the flat
+  collective takes exactly ``2(W-1) * (latency + nbytes / (W * bandwidth))``
+  -- the analytic :meth:`AllReduceModel.step_cost` -- and the hierarchical
+  one exactly :meth:`AllReduceModel.hierarchical_step_cost`; tests
+  cross-check both;
 * a rank that enters late delays its *successor* first, and the delay
   propagates one hop per stage around the ring (neighbor coupling);
 * a rank that dies mid-collective stalls its successor until the failure
   detector fires (``detection_timeout``), after which its undelivered chunks
   are filled in -- the surviving ring re-forms instead of deadlocking, and
-  collectives created after the abort exclude the dead rank entirely.
+  collectives created after the abort exclude the dead rank entirely.  The
+  detector fill-in, :meth:`RingFabric.abort` and the sweep apply *per
+  sub-collective*, so a hierarchical all-reduce's intra and inter rings each
+  unblock independently.
 
 Members are opaque hashables; the distributed runner uses ``(node, gpu)``
-tuples.  Collectives are keyed by ``(round, step)`` so ranks that drift ahead
-of each other (there is no global barrier in fabric mode) still join the
-right collective.
+tuples (the hierarchical topology requires them).  Collectives are keyed by
+``(round, step, bucket)`` so ranks that drift ahead of each other (there is
+no global barrier in fabric mode) still join the right collective.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Hashable, Iterable, List, Tuple
+from typing import Any, Dict, Generator, Hashable, Iterable, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from .kernel import Environment, Event
-from .resources import BandwidthPipe
+from .topology import FlatRing, RingPhase, Topology
 
 __all__ = ["RingFabric", "RingCollective"]
 
 
 class RingCollective:
-    """One in-flight all-reduce: delivery events per (stage, sender)."""
+    """One in-flight ring pass: delivery events per (stage, sender).
 
-    def __init__(self, fabric: "RingFabric", ring: List[Hashable]) -> None:
+    A flat all-reduce is two of these (reduce-scatter + all-gather over the
+    world ring); a hierarchical one adds intra-node and inter-node
+    sub-rings, each with its own ``RingCollective``.
+    """
+
+    def __init__(self, fabric: "RingFabric", ring: Iterable[Hashable]) -> None:
         self.fabric = fabric
         #: ring order snapshotted at creation; every participant of this
         #: collective derives its predecessor from the same snapshot
@@ -74,7 +96,12 @@ class RingCollective:
 
 
 class RingFabric:
-    """Per-link simulated ring all-reduce over a mutable membership."""
+    """Simulated collectives over a mutable membership and a topology.
+
+    ``topology`` defaults to a :class:`~repro.sim.topology.FlatRing` built
+    from ``latency`` / ``bandwidth`` -- the pre-refactor behaviour, byte-
+    and stage-identical to the old monolithic ring all-reduce.
+    """
 
     def __init__(
         self,
@@ -83,6 +110,7 @@ class RingFabric:
         bandwidth: float,
         gradient_bytes: float,
         detection_timeout: float = 1.0,
+        topology: Optional[Topology] = None,
     ) -> None:
         if bandwidth <= 0:
             raise ConfigurationError(f"bandwidth must be positive, got {bandwidth!r}")
@@ -95,14 +123,22 @@ class RingFabric:
         self.bandwidth = float(bandwidth)
         self.gradient_bytes = float(gradient_bytes)
         self.detection_timeout = float(detection_timeout)
+        self.topology = (
+            topology if topology is not None else FlatRing(env, latency, bandwidth)
+        )
         #: dead member -> virtual death time (failure detector anchor)
         self.dead: Dict[Hashable, float] = {}
         #: dead member -> how long after death its chunks fill in
         #: (detection_timeout for failures, 0 for graceful exits)
         self._fill_delay: Dict[Hashable, float] = {}
         self._ring: List[Hashable] = []
-        self._links: Dict[Hashable, BandwidthPipe] = {}
+        #: (key, phase tag) -> in-flight ring pass
         self._collectives: Dict[Any, RingCollective] = {}
+        #: key -> (membership snapshot, members finished with the whole
+        #: collective): all phases of one collective must derive their
+        #: sub-rings from the same snapshot even if membership mutates
+        #: while ranks are mid-collective
+        self._snapshots: Dict[Any, Tuple[List[Hashable], set]] = {}
 
     # -- membership --------------------------------------------------------
 
@@ -122,7 +158,7 @@ class RingFabric:
         self._ring = list(members)
 
     def abort(self, member: Hashable) -> None:
-        """Remove ``member`` on failure without deadlocking the ring.
+        """Remove ``member`` on failure without deadlocking any ring.
 
         Collectives created afterwards exclude it; its undelivered chunks in
         in-flight collectives are filled in once the failure detector fires
@@ -166,39 +202,43 @@ class RingFabric:
 
     # -- links -------------------------------------------------------------
 
-    def link(self, member: Hashable) -> BandwidthPipe:
-        """``member``'s outgoing ring link (created on first use)."""
-        pipe = self._links.get(member)
-        if pipe is None:
-            pipe = BandwidthPipe(
-                self.env, self.bandwidth, self.latency, record=False
-            )
-            self._links[member] = pipe
-        return pipe
+    def link(self, member: Hashable, scope: str = "inter"):
+        """``member``'s outgoing link (owned by the topology)."""
+        return self.topology.link(member, scope)
 
-    # -- the collective ----------------------------------------------------
+    # -- ring primitives ---------------------------------------------------
 
-    def allreduce(self, key: Any, member: Hashable) -> Generator:
-        """Participate in the all-reduce ``key`` as ``member`` (a process).
+    def _snapshot(self, key: Any) -> Tuple[List[Hashable], set]:
+        entry = self._snapshots.get(key)
+        if entry is None:
+            entry = (list(self._ring), set())
+            self._snapshots[key] = entry
+        return entry
 
-        All ranks calling with the same ``key`` join one collective whose
-        ring order is snapshotted from :meth:`set_ring` at first entry.
-        Returns when this rank has completed all ``2(W-1)`` stages.
+    def _ring_pass(
+        self, key: Any, phase: RingPhase, member: Hashable
+    ) -> Generator:
+        """Run ``member``'s sends/receives of one ring pass (a process).
+
+        ``W - 1`` stages; at each stage the member sends one
+        ``nbytes / W`` chunk on its ``phase.scope`` link and waits for its
+        ring predecessor's chunk before entering the next stage.
         """
-        collective = self._collectives.get(key)
+        ckey = (key, phase.tag)
+        collective = self._collectives.get(ckey)
         if collective is None:
-            collective = RingCollective(self, self._ring)
-            self._collectives[key] = collective
+            collective = RingCollective(self, phase.ring)
+            self._collectives[ckey] = collective
         ring = collective.ring
         world = len(ring)
         if world <= 1 or member not in ring:
-            self._retire(key, collective, member)
+            self._retire(ckey, collective, member)
             return
         position = ring.index(member)
         predecessor = ring[position - 1]
-        chunk = self.gradient_bytes / world
-        link = self.link(member)
-        for stage in range(2 * (world - 1)):
+        chunk = phase.nbytes / world
+        link = self.topology.link(member, phase.scope)
+        for stage in range(world - 1):
             send_done = link.transfer(chunk)
             mine = collective.delivery(stage, member)
             recv = collective.delivery(stage, predecessor)
@@ -207,24 +247,98 @@ class RingFabric:
                 mine.succeed()
             if not recv.triggered:
                 yield recv
-        self._retire(key, collective, member)
+        self._retire(ckey, collective, member)
 
-    def _retire(self, key: Any, collective: RingCollective, member: Hashable) -> None:
+    def reduce_scatter(
+        self, key: Any, member: Hashable, nbytes: Optional[float] = None
+    ) -> Generator:
+        """One ring reduce-scatter over the current membership (a process).
+
+        ``W - 1`` stages; afterwards each rank holds one reduced
+        ``nbytes / W`` shard.  Composable: ``allreduce`` is reduce-scatter
+        followed by all-gather over the same snapshot.
+        """
+        ring, finished = self._snapshot(key)
+        nbytes = self.gradient_bytes if nbytes is None else float(nbytes)
+        yield from self._ring_pass(
+            key, RingPhase("rs", tuple(ring), "reduce_scatter", nbytes, "inter"),
+            member,
+        )
+        self._finish(key, ring, finished, member)
+
+    def all_gather(
+        self, key: Any, member: Hashable, nbytes: Optional[float] = None
+    ) -> Generator:
+        """One ring all-gather over the current membership (a process).
+
+        ``W - 1`` stages re-replicating ``nbytes / W`` shards to every
+        rank."""
+        ring, finished = self._snapshot(key)
+        nbytes = self.gradient_bytes if nbytes is None else float(nbytes)
+        yield from self._ring_pass(
+            key, RingPhase("ag", tuple(ring), "all_gather", nbytes, "inter"),
+            member,
+        )
+        self._finish(key, ring, finished, member)
+
+    # -- the collective ----------------------------------------------------
+
+    def allreduce(
+        self, key: Any, member: Hashable, nbytes: Optional[float] = None
+    ) -> Generator:
+        """Participate in the all-reduce ``key`` as ``member`` (a process).
+
+        All ranks calling with the same ``key`` join one collective whose
+        membership is snapshotted from :meth:`set_ring` at first entry; the
+        topology maps that snapshot to this member's ring phases (flat: one
+        world ring, reduce-scatter + all-gather; hierarchical: intra-node
+        reduce -> inter-node ring all-reduce -> intra-node broadcast).
+        ``nbytes`` overrides the fabric's full ``gradient_bytes`` (the step
+        loop passes one bucket's slice).  Returns when this rank has
+        completed every stage of every phase.
+        """
+        ring, finished = self._snapshot(key)
+        nbytes = self.gradient_bytes if nbytes is None else float(nbytes)
+        if len(ring) > 1 and member in ring:
+            for phase in self.topology.phases(ring, member, nbytes):
+                yield from self._ring_pass(key, phase, member)
+        self._finish(key, ring, finished, member)
+
+    # -- retirement --------------------------------------------------------
+
+    def _finish(
+        self, key: Any, ring: List[Hashable], finished: set, member: Hashable
+    ) -> None:
+        """Mark ``member`` done with collective ``key``; drop the snapshot
+        once every survivor of it has finished."""
+        finished.add(member)
+        survivors = {m for m in ring if m not in self.dead}
+        if survivors <= finished:
+            self._snapshots.pop(key, None)
+
+    def _retire(self, ckey: Any, collective: RingCollective, member: Hashable) -> None:
         collective._finished.add(member)
         if collective.survivors <= collective._finished:
-            self._collectives.pop(key, None)
+            self._collectives.pop(ckey, None)
 
     def _sweep(self) -> None:
-        """Drop collectives whose remaining survivors have all finished."""
+        """Drop collectives/snapshots whose survivors have all finished."""
         done = [
-            key
-            for key, col in self._collectives.items()
+            ckey
+            for ckey, col in self._collectives.items()
             if col.survivors <= col._finished
         ]
-        for key in done:
-            self._collectives.pop(key, None)
+        for ckey in done:
+            self._collectives.pop(ckey, None)
+        stale = [
+            key
+            for key, (ring, finished) in self._snapshots.items()
+            if {m for m in ring if m not in self.dead} <= finished
+        ]
+        for key in stale:
+            self._snapshots.pop(key, None)
 
     @property
     def in_flight(self) -> int:
         """Number of collectives not yet completed by every survivor."""
-        return len(self._collectives)
+        return len(self._snapshots)

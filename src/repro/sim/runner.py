@@ -124,8 +124,14 @@ def run_simulation(
     series_bucket: Optional[float] = None,
     keep_batch_log: bool = False,
 ) -> SimResult:
-    """Simulate one full training run and aggregate its metrics."""
+    """Simulate one full training run and aggregate its metrics.
+
+    A hardware config with its own ``cache_fraction`` (heterogeneous-node
+    setups) overrides the ``cache_fraction`` argument, matching the
+    distributed runner's per-node semantics."""
     env = Environment()
+    if hardware.cache_fraction is not None:
+        cache_fraction = hardware.cache_fraction
     ctx = SimContext(env, workload, hardware, num_gpus, cache_fraction=cache_fraction)
     loader = make_sim_loader(loader_name, **(loader_kwargs or {}))
     loader.start(ctx)

@@ -1,0 +1,263 @@
+"""Cluster interconnect topologies for the collective fabric.
+
+This is the bottom layer of the synchronization stack: a
+:class:`Topology` owns the simulated links (one
+:class:`~repro.sim.resources.BandwidthPipe` per (member, scope)) and maps a
+membership snapshot onto the sequence of *ring phases* one all-reduce
+traverses.  The collective layer (:class:`~repro.sim.fabric.RingFabric`)
+executes those phases with ring ``reduce_scatter`` / ``all_gather``
+primitives; the step loop (:mod:`repro.sim.distributed`) never sees links
+at all.
+
+Two topologies are provided:
+
+* :class:`FlatRing` -- every rank owns one outgoing link of NIC class and
+  the all-reduce is a single ring over the whole world: reduce-scatter then
+  all-gather, ``2(W-1)`` stages of ``bytes / W`` chunks.  This is exactly
+  the pre-refactor ``RingFabric`` behaviour.
+* :class:`Hierarchical` -- members are ``(node, gpu)`` tuples; ``G`` GPUs
+  per node talk over fast intra-node links (NVLink class) and each node
+  reaches the others through one NIC-class inter-node ring, the structure
+  NCCL's hierarchical rings exploit.  One all-reduce decomposes into an
+  intra-node reduce (ring reduce-scatter over the node's GPUs), an
+  inter-node ring all-reduce of each GPU's shard across its same-position
+  peers (``W_nodes`` chunks), and an intra-node broadcast (ring
+  all-gather), so only ``1/G`` of the traffic ever crosses a NIC and the
+  latency term pays ``2(N-1)`` inter-node hops instead of ``2(NG-1)``.
+
+The node's single NIC is shared by its ``G`` concurrent inter-node ring
+streams; we model the steady-state fair share (each stream's inter link
+gets ``bandwidth / G``) rather than per-chunk FIFO interleaving, which
+keeps every phase's dynamics exact against the hierarchical closed form
+(:meth:`~repro.sim.distributed.AllReduceModel.hierarchical_step_cost`) on
+homogeneous clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .kernel import Environment
+from .resources import BandwidthPipe
+
+__all__ = ["Topology", "FlatRing", "Hierarchical", "RingPhase", "TOPOLOGIES"]
+
+TOPOLOGIES = ("flat", "hierarchical")
+
+
+@dataclass(frozen=True)
+class RingPhase:
+    """One ring pass of a collective, from one member's point of view.
+
+    ``tag`` keys the phase's sub-collective (members of the same sub-ring
+    share it); ``ring`` is the sub-ring in snapshot order; ``op`` is
+    ``"reduce_scatter"`` or ``"all_gather"`` (``W - 1`` stages each);
+    ``nbytes`` is the tensor size this ring pass moves (each stage sends a
+    ``nbytes / len(ring)`` chunk); ``scope`` selects which link class the
+    topology serves the sends from.
+    """
+
+    tag: Hashable
+    ring: Tuple[Hashable, ...]
+    op: str
+    nbytes: float
+    scope: str
+
+
+class Topology:
+    """Owns per-link pipes and plans the ring phases of one all-reduce."""
+
+    kind = "abstract"
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._links: Dict[Tuple[str, Hashable], BandwidthPipe] = {}
+
+    # -- links -------------------------------------------------------------
+
+    def link(self, member: Hashable, scope: str = "inter") -> BandwidthPipe:
+        """``member``'s outgoing link in ``scope`` (created on first use)."""
+        key = (scope, member)
+        pipe = self._links.get(key)
+        if pipe is None:
+            bandwidth, latency = self.link_params(member, scope)
+            pipe = BandwidthPipe(self.env, bandwidth, latency, record=False)
+            self._links[key] = pipe
+        return pipe
+
+    def link_params(self, member: Hashable, scope: str) -> Tuple[float, float]:
+        """(bandwidth, latency) of ``member``'s outgoing ``scope`` link."""
+        raise NotImplementedError
+
+    # -- collective plan ---------------------------------------------------
+
+    def phases(
+        self, ring: Sequence[Hashable], member: Hashable, nbytes: float
+    ) -> List[RingPhase]:
+        """The ring passes ``member`` performs in one all-reduce over the
+        membership snapshot ``ring``."""
+        raise NotImplementedError
+
+
+class FlatRing(Topology):
+    """Single ring over the whole world on NIC-class links (the
+    pre-refactor behaviour: one all-reduce is reduce-scatter then
+    all-gather over the same ``W``-member ring)."""
+
+    kind = "flat"
+
+    def __init__(self, env: Environment, latency: float, bandwidth: float) -> None:
+        if bandwidth <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {bandwidth!r}"
+            )
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency!r}")
+        super().__init__(env)
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+
+    def link_params(self, member: Hashable, scope: str) -> Tuple[float, float]:
+        return self.bandwidth, self.latency
+
+    def phases(
+        self, ring: Sequence[Hashable], member: Hashable, nbytes: float
+    ) -> List[RingPhase]:
+        full = tuple(ring)
+        return [
+            RingPhase("rs", full, "reduce_scatter", nbytes, "inter"),
+            RingPhase("ag", full, "all_gather", nbytes, "inter"),
+        ]
+
+
+class Hierarchical(Topology):
+    """Two-level topology: G GPUs per node on fast intra-node links, one
+    NIC-class ring between nodes.
+
+    Members must be ``(node, gpu)`` tuples (the distributed runner's rank
+    identity).  The all-reduce plan for member ``(n, g)``:
+
+    1. *intra-node reduce*: ring reduce-scatter over node ``n``'s GPUs on
+       intra-node links -- ``(G-1)`` stages, each GPU ends holding one
+       reduced ``bytes / G`` shard of the node's gradient sum;
+    2. *inter-node ring all-reduce*: the GPU at intra position ``p`` of
+       every node forms an ``N``-node ring that all-reduces its shard
+       (``bytes / G``) across nodes -- reduce-scatter + all-gather,
+       ``2(N-1)`` stages of ``bytes / (G N)`` chunks over the NIC's fair
+       share (``bandwidth / gpus_per_node`` per concurrent stream);
+    3. *intra-node broadcast*: ring all-gather over the node's GPUs --
+       ``(G-1)`` stages re-replicate the globally reduced gradient.
+
+    ``intra_params`` optionally maps a node id to its own
+    ``(latency, bandwidth)`` intra-node link class (heterogeneous
+    clusters); unlisted nodes use the defaults.
+    """
+
+    kind = "hierarchical"
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: float,
+        bandwidth: float,
+        intra_latency: float,
+        intra_bandwidth: float,
+        gpus_per_node: int,
+        intra_params: Optional[
+            Dict[Hashable, Tuple[float, float]]
+        ] = None,
+    ) -> None:
+        if bandwidth <= 0 or intra_bandwidth <= 0:
+            raise ConfigurationError(
+                f"bandwidths must be positive, got inter={bandwidth!r} "
+                f"intra={intra_bandwidth!r}"
+            )
+        if latency < 0 or intra_latency < 0:
+            raise ConfigurationError(
+                f"latencies must be >= 0, got inter={latency!r} "
+                f"intra={intra_latency!r}"
+            )
+        if gpus_per_node < 1:
+            raise ConfigurationError(
+                f"gpus_per_node must be >= 1, got {gpus_per_node!r}"
+            )
+        super().__init__(env)
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.intra_latency = float(intra_latency)
+        self.intra_bandwidth = float(intra_bandwidth)
+        self.gpus_per_node = int(gpus_per_node)
+        self._intra_params = dict(intra_params or {})
+
+    def link_params(self, member: Hashable, scope: str) -> Tuple[float, float]:
+        node = self._node_of(member)
+        if scope == "intra":
+            latency, bandwidth = self._intra_params.get(
+                node, (self.intra_latency, self.intra_bandwidth)
+            )
+            return bandwidth, latency
+        # the node's G concurrent inter-node ring streams share its NIC:
+        # model the steady-state fair share per stream
+        return self.bandwidth / self.gpus_per_node, self.latency
+
+    @staticmethod
+    def _node_of(member: Hashable) -> Hashable:
+        try:
+            node, _gpu = member
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"hierarchical topology members must be (node, gpu) "
+                f"tuples, got {member!r}"
+            )
+        return node
+
+    def _groups(
+        self, ring: Sequence[Hashable]
+    ) -> "Dict[Hashable, List[Hashable]]":
+        groups: Dict[Hashable, List[Hashable]] = {}
+        for member in ring:  # snapshot order within each node
+            groups.setdefault(self._node_of(member), []).append(member)
+        return groups
+
+    def phases(
+        self, ring: Sequence[Hashable], member: Hashable, nbytes: float
+    ) -> List[RingPhase]:
+        groups = self._groups(ring)
+        node = self._node_of(member)
+        intra = tuple(groups[node])
+        position = intra.index(member)
+        # the inter-node ring of this member's intra position: one member
+        # per node (nodes in snapshot order) that has that position
+        inter = tuple(
+            group[position]
+            for group in groups.values()
+            if position < len(group)
+        )
+        shard = nbytes / max(len(intra), 1)
+        plan: List[RingPhase] = []
+        if len(intra) > 1:
+            plan.append(
+                RingPhase(
+                    ("rs-intra", node), intra, "reduce_scatter", nbytes, "intra"
+                )
+            )
+        if len(inter) > 1:
+            plan.append(
+                RingPhase(
+                    ("rs-inter", position), inter, "reduce_scatter", shard, "inter"
+                )
+            )
+            plan.append(
+                RingPhase(
+                    ("ag-inter", position), inter, "all_gather", shard, "inter"
+                )
+            )
+        if len(intra) > 1:
+            plan.append(
+                RingPhase(
+                    ("ag-intra", node), intra, "all_gather", nbytes, "intra"
+                )
+            )
+        return plan

@@ -53,10 +53,28 @@ class HardwareConfig:
     gpu_type: str
     storage: StorageSpec
     memory_bytes: float
+    #: intra-node GPU interconnect (NVLink class): what a hierarchical
+    #: collective topology uses between a node's own GPUs
+    intra_node_bandwidth: float = 300e9  # 300 GB/s NVLink-class
+    intra_node_latency: float = 3e-6
+    #: default GPUs per node for distributed runs (None: the runner's
+    #: ``gpus_per_node`` argument decides, defaulting to 1)
+    gpus_per_node: Optional[int] = None
+    #: per-node page-cache fraction override (None: the runner's
+    #: ``cache_fraction`` argument applies) -- heterogeneous-memory nodes
+    cache_fraction: Optional[float] = None
 
     def with_memory_limit(self, limit_bytes: float) -> "HardwareConfig":
         """cgroup-style memory cap (paper §5.5)."""
         return replace(self, memory_bytes=limit_bytes)
+
+    def with_cache_fraction(self, fraction: float) -> "HardwareConfig":
+        """Pin this node's page-cache size to ``fraction`` of its memory."""
+        if fraction < 0:
+            raise ConfigurationError(
+                f"cache_fraction must be >= 0, got {fraction!r}"
+            )
+        return replace(self, cache_fraction=fraction)
 
 
 CONFIG_A = HardwareConfig(

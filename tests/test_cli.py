@@ -46,6 +46,54 @@ def test_cli_distributed_elastic_reshard_locality(capsys):
     assert "MISS" not in out
 
 
+def test_cli_distributed_overlap_matrix(capsys):
+    """`python -m repro distributed --fabric hierarchical --overlap` (the
+    acceptance command) runs the {flat, hierarchical} x {serial, overlap}
+    matrix on the ring fabric and its checks pass -- including the strict
+    exposed-sync win of hierarchical+overlap over flat+serial."""
+    assert (
+        main(
+            [
+                "distributed",
+                "--fabric",
+                "hierarchical",
+                "--overlap",
+                "--scale",
+                "0.02",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "distributed_overlap" in out
+    assert "hierarchical" in out
+    assert "exposed" in out
+    assert "MISS" not in out
+
+
+def test_cli_distributed_overlap_buckets_flag(capsys):
+    assert main(["distributed", "--overlap", "--buckets", "2", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "distributed_overlap" in out
+
+
+def test_cli_overlap_flags_reject_elastic(capsys):
+    assert main(["distributed", "--elastic", "--overlap"]) == 2
+    err = capsys.readouterr().err
+    assert "--elastic" in err
+
+
+def test_cli_rejects_non_positive_buckets(capsys):
+    assert main(["distributed", "--overlap", "--buckets", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "--buckets" in err
+
+
+def test_cli_rejects_unknown_fabric_topology():
+    with pytest.raises(SystemExit):
+        main(["distributed", "--fabric", "torus"])
+
+
 def test_cli_reshard_requires_elastic(capsys):
     assert main(["distributed", "--reshard", "locality"]) == 2
     err = capsys.readouterr().err

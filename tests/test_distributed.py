@@ -60,6 +60,33 @@ def test_ring_fabric_matches_analytic_on_homogeneous_cluster():
     assert ring.training_time == pytest.approx(analytic.training_time, rel=0.05)
 
 
+def test_hierarchical_ring_fabric_matches_hierarchical_analytic():
+    """The runner-level edition of the topology cross-check: with
+    ``topology="hierarchical"`` the modelled fabric and the hierarchical
+    closed form agree on a homogeneous static cluster, and the analytic
+    run charges exactly the hierarchical closed form per step."""
+    wl = tiny_speech()
+    model = AllReduceModel()
+    kwargs = dict(
+        nodes=2,
+        gpus_per_node=2,
+        steps_per_gpu=5,
+        allreduce=model,
+        topology="hierarchical",
+    )
+    analytic = run_distributed("minato", wl, CONFIG_A, fabric="analytic", **kwargs)
+    ring = run_distributed("minato", wl, CONFIG_A, fabric="ring", **kwargs)
+    closed_form = model.hierarchical_step_cost(
+        2, 2, CONFIG_A.intra_node_latency, CONFIG_A.intra_node_bandwidth
+    )
+    assert analytic.sync_seconds_total / analytic.steps == pytest.approx(
+        closed_form
+    )
+    assert ring.training_time == pytest.approx(analytic.training_time, rel=0.05)
+    # both topologies run the same closed-form family: hierarchical < flat
+    assert closed_form < model.step_cost(4)
+
+
 def test_ring_fabric_exposes_straggler_neighbor_delay():
     """Under a hardware straggler the measured per-step sync wait on the
     ring fabric far exceeds the closed form, which stays constant by

@@ -33,6 +33,7 @@ def test_registry_covers_every_paper_artifact():
         "ablations",
         "distributed",
         "distributed_elastic",
+        "distributed_overlap",
     }
 
 
