@@ -4,6 +4,7 @@
     python -m repro run fig7 [--scale 0.2]    # run one experiment
     python -m repro run all --output results/ # run everything, save reports
     python -m repro distributed [--elastic]   # distributed scaling / churn
+    python -m repro bench [--profile]         # sim-kernel perf scenarios
     python -m repro report [--scale 0.2]      # (re)generate EXPERIMENTS.md
 """
 
@@ -99,6 +100,67 @@ def _cmd_distributed(args) -> int:
     return 0 if result.all_passed else 1
 
 
+def _cmd_bench(args) -> int:
+    """Run the sim-kernel perf scenarios (:mod:`repro.sim.bench`).
+
+    ``--profile`` wraps the optimized run of each selected scenario in
+    cProfile and prints the top cumulative-time entries -- the entry point
+    for "where do the kernel's cycles actually go" questions."""
+    from .sim import bench
+
+    if args.list:
+        width = max(len(s.name) for s in bench.SCENARIOS)
+        for scenario in bench.SCENARIOS:
+            print(
+                f"{scenario.name:{width}s}  {scenario.ranks:4d} ranks  "
+                f"{scenario.topology}/"
+                f"{'overlap' if scenario.overlap else 'serial'}"
+                f"{'  +churn' if scenario.events else ''}"
+            )
+        return 0
+    names = args.scenario or None
+    try:
+        if names:
+            for name in names:
+                bench.scenario_by_name(name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.profile:
+        import cProfile
+        import pstats
+
+        for name in names or [s.name for s in bench.SCENARIOS]:
+            scenario = bench.scenario_by_name(name)
+            profile = cProfile.Profile()
+            profile.enable()
+            result, wall = scenario.run(collapse=True, queue=None)
+            profile.disable()
+            print(
+                f"== {name}: {wall:.2f}s wall, {result.sim_events} events, "
+                f"{result.collapsed_collectives} collapsed collectives"
+            )
+            stats = pstats.Stats(profile, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(args.top)
+        return 0
+    report = bench.run_benchmarks(names)
+    for scenario in report["scenarios"]:
+        optimized = scenario["optimized"]
+        line = (
+            f"{scenario['name']:28s} {scenario['ranks']:4d} ranks  "
+            f"wall {optimized['wall_seconds']:6.2f}s  "
+            f"{optimized['events_per_sec']:9.0f} ev/s  "
+            f"collapsed {optimized['collapsed_collectives']}"
+        )
+        if "speedup" in scenario:
+            line += f"  speedup {scenario['speedup']:.2f}x"
+        print(line)
+    if args.output:
+        bench.write_report(report, args.output)
+        print(f"saved {args.output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args) -> int:
     report_module.main(
         (["--scale", str(args.scale)] if args.scale is not None else [])
@@ -163,6 +225,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     dist_parser.add_argument("--scale", type=float, default=None)
     dist_parser.add_argument("--output", default=None, help="directory for reports")
 
+    bench_parser = sub.add_parser(
+        "bench", help="sim-kernel perf scenarios (BENCH_kernel.json)"
+    )
+    bench_parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="scenario name (repeatable; default: the whole grid)",
+    )
+    bench_parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    bench_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the optimized run of each scenario (skips baselines)",
+    )
+    bench_parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="rows of profile output per scenario (with --profile)",
+    )
+    bench_parser.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON report here (e.g. BENCH_kernel.json)",
+    )
+
     report_parser = sub.add_parser("report", help="generate EXPERIMENTS.md")
     report_parser.add_argument("--scale", type=float, default=None)
     report_parser.add_argument("--output", default="EXPERIMENTS.md")
@@ -174,6 +265,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "distributed":
         return _cmd_distributed(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_report(args)
 
 

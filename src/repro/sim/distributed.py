@@ -165,6 +165,7 @@ class AllReduceModel:
         env: Environment,
         detection_timeout: float = 1.0,
         topology: Optional[Topology] = None,
+        collapse: bool = False,
     ) -> RingFabric:
         """A modelled fabric with this model's link parameters.
 
@@ -176,6 +177,7 @@ class AllReduceModel:
             gradient_bytes=self.gradient_bytes,
             detection_timeout=detection_timeout,
             topology=topology,
+            collapse=collapse,
         )
 
 
@@ -427,6 +429,13 @@ class DistributedResult:
     #: page-cache capacity (bytes) per node, aligned with node_ids --
     #: heterogeneous when node_hardware overrides cache_fraction
     per_node_cache_bytes: List[float] = field(default_factory=list)
+    #: ring-fabric collectives served by the homogeneous-rank collapsed
+    #: fast path (0 when it never engaged -- heterogeneity, churn, or
+    #: ``collapse=False``); purely observability, never affects timing
+    collapsed_collectives: int = 0
+    #: kernel events processed by the run's Environment (the benchmark
+    #: suite's denominator; collapse shrinks it, virtual time unchanged)
+    sim_events: int = 0
 
     @property
     def world_size(self) -> int:
@@ -486,6 +495,8 @@ def run_distributed(
     topology: str = "flat",
     overlap: bool = False,
     buckets: int = 1,
+    collapse: bool = True,
+    queue: Optional[str] = None,
 ) -> DistributedResult:
     """Simulate data-parallel training across ``nodes`` machines.
 
@@ -546,6 +557,8 @@ def run_distributed(
         topology=topology,
         overlap=overlap,
         buckets=buckets,
+        collapse=collapse,
+        queue=queue,
     )
 
 
@@ -605,6 +618,8 @@ def run_elastic(
     topology: str = "flat",
     overlap: bool = False,
     buckets: int = 1,
+    collapse: bool = True,
+    queue: Optional[str] = None,
 ) -> DistributedResult:
     """Simulate elastic data-parallel training over a membership schedule.
 
@@ -655,6 +670,21 @@ def run_elastic(
     remainder (reported as ``exposed_sync_seconds``) extends the step.
     ``topology="flat", overlap=False, buckets=1`` reproduces the
     pre-refactor runner exactly (equivalence-pinned in tests).
+
+    ``collapse`` (default on) lets the ring fabric serve homogeneous
+    all-entered-together collectives with one representative-rank schedule
+    instead of ``W`` simulated ring processes -- timing-identical by
+    construction, orders of magnitude fewer kernel events.  The runner
+    disables it for any round with an armed fail event (mid-step failure
+    needs per-rank fidelity) and, in overlap mode, for steps whose bucket
+    collective may outlast a backprop slice (concurrent collectives
+    contend on links, which only the exact path models); it deactivates
+    itself on heterogeneous links, ragged arrivals, or churn.
+
+    ``queue`` selects the kernel's event-queue implementation (see
+    :data:`repro.sim.kernel.QUEUE_KINDS`); ``None`` uses the default
+    indexed queue, ``"heap"`` the exact binary-heap baseline -- both
+    produce identical results, the benchmark suite measures the gap.
     """
     if fabric not in FABRICS:
         raise ConfigurationError(
@@ -701,7 +731,7 @@ def run_elastic(
             total_steps if total_steps is not None else workload.iterations
         )
 
-    env = Environment()
+    env = Environment(queue=queue)
     ring: Optional[RingFabric] = None
     if fabric == "ring":
         topo = None
@@ -843,6 +873,9 @@ def run_elastic(
                         if node_hw.cache_fraction is not None
                         else cache_fraction
                     ),
+                    # nothing here consumes per-transfer disk logs; the
+                    # aggregate totals stay maintained regardless
+                    record_transfers=False,
                 )
                 activated_at[node] = boundary_now
         round_shards = {
@@ -942,6 +975,21 @@ def run_elastic(
         ]
         if ring is not None:
             ring.set_ring(round_ranks)
+            # homogeneous-rank collapse only in rounds that cannot see a
+            # mid-step failure: mirror the fail-controller scheduling
+            # condition below, so any fail that could fire this round
+            # forces full per-rank fidelity
+            fail_armed = any(
+                idx not in consumed
+                and event.kind == "fail"
+                and event.node in round_nodes
+                and (
+                    (event.epoch is not None and event.epoch == round_index)
+                    or event.time is not None
+                )
+                for idx, event in enumerate(membership.events)
+            )
+            ring.collapse = collapse and not fail_armed
         barrier.set_members(round_ranks)
         # one collective per gradient bucket: each moves bucket_bytes and,
         # on the analytic fabric, costs the closed form for that slice
@@ -975,7 +1023,7 @@ def run_elastic(
             else:
                 barrier.remove(member)
 
-        def sync_bucket(member, key, serial: bool):
+        def sync_bucket(member, key, serial: bool, collapse_ok: bool = True):
             """One bucket's collective as ``member`` (a generator).
 
             Ring fabric: the measured duration (neighbor waits included)
@@ -988,7 +1036,9 @@ def run_elastic(
             """
             entered = env.now
             if ring is not None:
-                yield from ring.allreduce(key, member, nbytes=bucket_bytes)
+                yield from ring.allreduce(
+                    key, member, nbytes=bucket_bytes, collapse_ok=collapse_ok
+                )
                 counters["sync"] += env.now - entered
             else:
                 yield barrier.arrive(key, member)
@@ -999,12 +1049,14 @@ def run_elastic(
                 )
             counters["grad_bytes"] += bucket_bytes
 
-        def overlapped_bucket(member, key):
+        def overlapped_bucket(member, key, collapse_ok):
             """Bucket collective launched during backprop (a process): an
             interrupt (node failure) abandons it quietly -- the fabric's
             abort fills in its undelivered chunks for the survivors."""
             try:
-                yield from sync_bucket(member, key, serial=False)
+                yield from sync_bucket(
+                    member, key, serial=False, collapse_ok=collapse_ok
+                )
             except Interrupt:
                 return
 
@@ -1027,13 +1079,24 @@ def run_elastic(
                         # bucketed backprop: bucket k's gradients are ready
                         # after the (k+1)-th slice of the step's compute
                         # (reverse layer order), and its collective runs
-                        # concurrently with the remaining slices
+                        # concurrently with the remaining slices.  Collapse
+                        # is only safe when bucket k's collective finishes
+                        # before bucket k+1 launches (the collapsed path
+                        # assumes idle links): gate it on the closed-form
+                        # cost fitting in one backprop slice, with margin
+                        # for the closed form's float rounding
+                        collapse_ok = (
+                            bucket_cost * (1.0 + 1e-9) + 1e-12
+                            <= step / buckets
+                        )
                         children = []
                         for k in range(buckets):
                             yield from ctx.train_step(gpu, step / buckets)
                             child = env.process(
                                 overlapped_bucket(
-                                    member, (this_round, step_index, k)
+                                    member,
+                                    (this_round, step_index, k),
+                                    collapse_ok,
                                 )
                             )
                             children.append(child)
@@ -1244,4 +1307,8 @@ def run_elastic(
         per_node_cache_bytes=[
             contexts[node].cache.capacity_bytes for node in seen_nodes
         ],
+        collapsed_collectives=(
+            ring.collapsed_collectives if ring is not None else 0
+        ),
+        sim_events=env.events_processed,
     )

@@ -44,6 +44,22 @@ Members are opaque hashables; the distributed runner uses ``(node, gpu)``
 tuples (the hierarchical topology requires them).  Collectives are keyed by
 ``(round, step, bucket)`` so ranks that drift ahead of each other (there is
 no global barrier in fabric mode) still join the right collective.
+
+**Homogeneous-rank collapse** (``collapse=True``): when every ring member
+enters a collective at the same instant and the fabric is quiescent (no
+churn, no simulated collective in flight, every link idle), a lockstep
+all-reduce advances all ``W`` ranks through identical per-stage timing --
+so one representative rank's timeline, replicated by the topology's
+:meth:`~repro.sim.topology.Topology.collapse_schedule` with bit-identical
+float arithmetic, is the whole collective.  The fast path registers every
+entrant, decides at the entry instant (a zero-delay decision event fires
+after all same-instant arrivals), and either walks the representative
+schedule once (``O(stages)`` events instead of ``O(W x stages)`` simulated
+transfers) or releases every entrant, still at the entry instant, into the
+exact per-rank path.  Fallback triggers on ragged arrival, heterogeneous
+links, churn (any dead member), concurrent simulated collectives, busy
+links, or an entrant that was told overlap may bleed into the next
+collective (``collapse_ok=False``).
 """
 
 from __future__ import annotations
@@ -95,6 +111,23 @@ class RingCollective:
         return {m for m in self.ring if m not in self.fabric.dead}
 
 
+class _CollapseEntry:
+    """Registration state of one potentially-collapsed collective."""
+
+    __slots__ = ("t0", "ring", "nbytes", "waiters", "allowed", "collapsed")
+
+    def __init__(self, t0: float, ring: List[Hashable], nbytes: float) -> None:
+        self.t0 = t0
+        self.ring = ring
+        self.nbytes = nbytes
+        #: member -> the event its entrant blocks on; succeeds with True
+        #: (collapsed, resume at the collective's end) or False (fall back
+        #: to the per-rank path, resume still at t0)
+        self.waiters: Dict[Hashable, Event] = {}
+        self.allowed = True
+        self.collapsed = False
+
+
 class RingFabric:
     """Simulated collectives over a mutable membership and a topology.
 
@@ -111,6 +144,7 @@ class RingFabric:
         gradient_bytes: float,
         detection_timeout: float = 1.0,
         topology: Optional[Topology] = None,
+        collapse: bool = False,
     ) -> None:
         if bandwidth <= 0:
             raise ConfigurationError(f"bandwidth must be positive, got {bandwidth!r}")
@@ -139,6 +173,14 @@ class RingFabric:
         #: sub-rings from the same snapshot even if membership mutates
         #: while ranks are mid-collective
         self._snapshots: Dict[Any, Tuple[List[Hashable], set]] = {}
+        #: homogeneous-rank collapse enabled (the elastic runner toggles
+        #: this per round: off whenever a fail event is armed)
+        self.collapse = bool(collapse)
+        #: collectives served by the collapsed fast path (observability:
+        #: tests assert the fast path engaged -- or stayed out)
+        self.collapsed_collectives = 0
+        #: key -> registration entry of a not-yet-completed fast-path try
+        self._pending_collapse: Dict[Any, _CollapseEntry] = {}
 
     # -- membership --------------------------------------------------------
 
@@ -284,7 +326,11 @@ class RingFabric:
     # -- the collective ----------------------------------------------------
 
     def allreduce(
-        self, key: Any, member: Hashable, nbytes: Optional[float] = None
+        self,
+        key: Any,
+        member: Hashable,
+        nbytes: Optional[float] = None,
+        collapse_ok: bool = True,
     ) -> Generator:
         """Participate in the all-reduce ``key`` as ``member`` (a process).
 
@@ -296,13 +342,119 @@ class RingFabric:
         ``nbytes`` overrides the fabric's full ``gradient_bytes`` (the step
         loop passes one bucket's slice).  Returns when this rank has
         completed every stage of every phase.
+
+        With :attr:`collapse` on, a homogeneous all-entered-together
+        collective is served by one representative-rank schedule instead of
+        ``W`` simulated ring processes (see the module docstring);
+        ``collapse_ok=False`` vetoes the fast path for this collective (the
+        step loop passes it when a bucket's collective may still be in
+        flight when the next one launches -- the collapsed path assumes
+        idle links, so such overlap must run the exact path).
         """
         ring, finished = self._snapshot(key)
         nbytes = self.gradient_bytes if nbytes is None else float(nbytes)
         if len(ring) > 1 and member in ring:
-            for phase in self.topology.phases(ring, member, nbytes):
-                yield from self._ring_pass(key, phase, member)
+            served = False
+            if self.collapse:
+                served = yield from self._collapsed_allreduce(
+                    key, ring, member, nbytes, collapse_ok
+                )
+            if not served:
+                for phase in self.topology.phases(ring, member, nbytes):
+                    yield from self._ring_pass(key, phase, member)
         self._finish(key, ring, finished, member)
+
+    # -- homogeneous-rank collapse -----------------------------------------
+
+    def _collapse_quiescent(self) -> bool:
+        """No churn, no simulated collective in flight, every link idle --
+        the state from which a lockstep collective is provably identical to
+        the per-rank simulation (and after which it leaves every link
+        idle-equivalent again: a link's owner only sends once its previous
+        collective finished, by which time the link had drained)."""
+        if self.dead or self._collectives:
+            return False
+        now = self.env.now
+        for pipe in self.topology._links.values():
+            if pipe._available_at > now:
+                return False
+        return True
+
+    def _collapsed_allreduce(
+        self,
+        key: Any,
+        ring: List[Hashable],
+        member: Hashable,
+        nbytes: float,
+        collapse_ok: bool,
+    ) -> Generator:
+        """Try the fast path; returns True iff it served this member."""
+        entry = self._pending_collapse.get(key)
+        if entry is None:
+            if self._pending_collapse or not self._collapse_quiescent():
+                return False
+            entry = _CollapseEntry(self.env.now, list(ring), nbytes)
+            self._pending_collapse[key] = entry
+            self.env.process(self._collapse_decider(key, entry))
+        if not collapse_ok or nbytes != entry.nbytes:
+            entry.allowed = False
+        wait = self.env.event()
+        entry.waiters[member] = wait
+        outcome = yield wait
+        return bool(outcome)
+
+    def _collapse_decider(self, key: Any, entry: _CollapseEntry) -> Generator:
+        # a zero-delay NORMAL event: every entrant arriving at the same
+        # instant was scheduled before it, so by the time this fires the
+        # registration window is closed
+        yield self.env.timeout(0.0)
+        schedule = None
+        if (
+            entry.allowed
+            and len(entry.waiters) == len(entry.ring)
+            and self._collapse_quiescent()
+        ):
+            schedule = self.topology.collapse_schedule(entry.ring, entry.nbytes)
+        if schedule is None:
+            # ragged arrival / heterogeneity / churn: release every entrant
+            # into the exact per-rank path, still at the entry instant
+            self._pending_collapse.pop(key, None)
+            for wait in entry.waiters.values():
+                wait.succeed(False)
+            return
+        entry.collapsed = True
+        self.collapsed_collectives += 1
+        # one representative rank's lockstep timeline; ``avail`` replicates
+        # its per-scope link watermark with BandwidthPipe.transfer's exact
+        # float arithmetic, so the resume instants match the simulation
+        # bit-for-bit
+        avail: Dict[str, float] = {}
+        for stages, latency, stage_seconds, scope in schedule:
+            for _stage in range(stages):
+                now = self.env.now
+                start = max(now, avail.get(scope, now))
+                avail[scope] = start + stage_seconds
+                finish = start + latency + stage_seconds
+                yield self.env.timeout(finish - now)
+        # defense in depth: a member removed mid-flight would have stalled
+        # the simulated ring until its chunks filled in; never complete
+        # before the latest fill-in window (unreachable under the runner's
+        # gating -- every ring member is blocked in this collective)
+        while True:
+            horizon = self.env.now
+            for ring_member in entry.ring:
+                death = self.dead.get(ring_member)
+                if death is not None:
+                    fill = death + self._fill_delay.get(ring_member, 0.0)
+                    if fill > horizon:
+                        horizon = fill
+            if horizon <= self.env.now:
+                break
+            yield self.env.timeout(horizon - self.env.now)
+        self._pending_collapse.pop(key, None)
+        for wait in entry.waiters.values():
+            if not wait.triggered:
+                wait.succeed(True)
 
     # -- retirement --------------------------------------------------------
 

@@ -16,11 +16,27 @@ Only the features needed by the loader models are implemented:
 
 Queues and resources live in :mod:`repro.sim.stores` and
 :mod:`repro.sim.resources`.
+
+Scheduling is served by an *indexed* event queue (see
+:class:`Environment`): events fired at the current instant -- the dominant
+class in a loader/fabric simulation, where nearly every ``succeed()`` and
+process resumption is a zero-delay cascade -- live in two priority-indexed
+FIFO lanes with O(1) push/pop, while genuinely future events fall back to
+the exact binary heap.  The composite pop order is *identical* to a single
+``(time, priority, eid)`` heap (equivalence-pinned in tests), and
+``Environment(queue="heap")`` forces the plain-heap legacy path, which the
+benchmark suite uses as its measured baseline.  Two further kernel
+optimizations ride on the indexed mode: interrupted processes' stale wait
+targets are lazily cancelled (skipped at their fire time instead of being
+popped, walked and failure-checked), and the throwaway resume ``Event``
+that :meth:`Process._resume` allocates when yielding an already-processed
+event is recycled per process.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import EmptySchedule, SimulationError
@@ -33,9 +49,17 @@ __all__ = [
     "Interrupt",
     "AnyOf",
     "AllOf",
+    "QUEUE_KINDS",
+    "DEFAULT_QUEUE",
 ]
 
 _PENDING = object()
+
+#: available event-queue implementations: "indexed" (current-instant FIFO
+#: lanes + exact-heap fallback, the default) or "heap" (the legacy single
+#: binary heap, kept as the equivalence/benchmark baseline)
+QUEUE_KINDS = ("indexed", "heap")
+DEFAULT_QUEUE = "indexed"
 
 #: Event scheduling priorities. Urgent events (process resumptions) run before
 #: normal events scheduled for the same instant, mirroring SimPy's behaviour.
@@ -66,6 +90,14 @@ class Event:
         #: set True once a failure's exception was consumed by somebody;
         #: unhandled failures surface in Environment.step().
         self._defused = False
+        #: lazy-cancellation mark: a scheduled event whose last subscriber
+        #: detached (an interrupted process's stale wait target).  Skipped
+        #: at its fire time *iff* it is still successful and unobserved --
+        #: re-subscribing before then revives it without clearing the mark.
+        self._dead = False
+        #: scheduling id, assigned when the event enters a current-instant
+        #: lane (orders lane heads against heap entries at the same time)
+        self._eid = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending" if self._ok is None else ("ok" if self._ok else "failed")
@@ -147,6 +179,9 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        #: recycled resume event for the already-processed fast path (one
+        #: live resume per process at a time, so a single slot suffices)
+        self._resume_cache: Optional[Event] = None
         _Initialize(env, self)
 
     @property
@@ -175,11 +210,18 @@ class Process(Event):
         # Drop the subscription on the event we were waiting for (if we are
         # being resumed by an interrupt instead of that event).
         if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
+            target = self._target
+            if target.callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    target.callbacks.remove(self._resume)
                 except ValueError:
                     pass
+                else:
+                    if not target.callbacks and self.env._indexed:
+                        # last subscriber gone: let the queue skip the
+                        # stale event at its fire time instead of walking
+                        # its (empty) callbacks and failure-checking it
+                        target._dead = True
         self._target = None
         self.env._active = self
 
@@ -212,14 +254,34 @@ class Process(Event):
             )
         if next_event.callbacks is None:
             # Already processed: resume immediately at the current instant.
-            resume = Event(self.env)
-            resume._ok = next_event._ok
-            resume._value = next_event._value
-            if not next_event._ok:
-                next_event._defused = True
-                resume._defused = True
-            resume.callbacks.append(self._resume)
-            self.env._schedule(resume, URGENT, 0.0)
+            # Successful passthroughs recycle a per-process resume event
+            # (safe: only one resume per process is ever in flight, and a
+            # recycled event is always re-armed successful, so the queue's
+            # unhandled-failure check after its callbacks stays valid).
+            resume = self._resume_cache
+            if (
+                next_event._ok
+                and resume is not None
+                and resume.callbacks is None
+                and self.env._indexed
+            ):
+                resume._ok = True
+                resume._value = next_event._value
+                resume._defused = False
+                resume._dead = False
+                resume.callbacks = [self._resume]
+                self.env._schedule(resume, URGENT, 0.0)
+            else:
+                resume = Event(self.env)
+                resume._ok = next_event._ok
+                resume._value = next_event._value
+                if not next_event._ok:
+                    next_event._defused = True
+                    resume._defused = True
+                resume.callbacks.append(self._resume)
+                self.env._schedule(resume, URGENT, 0.0)
+                if next_event._ok:
+                    self._resume_cache = resume
             self._target = resume
         else:
             next_event.callbacks.append(self._resume)
@@ -280,13 +342,50 @@ class AllOf(_Condition):
 
 
 class Environment:
-    """Coordinates processes and advances virtual time."""
+    """Coordinates processes and advances virtual time.
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    ``queue`` selects the scheduling structure:
+
+    * ``"indexed"`` (default) -- events fired at the *current instant*
+      (zero-delay ``succeed()`` cascades and process resumptions, the vast
+      majority of a simulation's traffic) are appended to two FIFO lanes
+      indexed by priority (urgent / normal) with O(1) push and pop; only
+      genuinely future events pay the binary heap.  The pop order is
+      exactly the single-heap ``(time, priority, eid)`` order: lane
+      entries carry their scheduling id, every entry in a lane is at the
+      current time (lanes always drain before the clock advances), and
+      each step takes the minimum of the three head keys.  Indexed mode
+      also enables lazy cancellation of dead events and resume-event
+      recycling (see :class:`Event` / :class:`Process`).
+    * ``"heap"`` -- the legacy single binary heap with none of the above;
+      kept as the measured baseline for the kernel benchmarks and the
+      equivalence sweep.
+
+    ``events_processed`` / ``events_skipped`` count delivered and
+    lazily-cancelled events; the benchmark layer reports events/sec from
+    them.
+    """
+
+    def __init__(
+        self, initial_time: float = 0.0, queue: Optional[str] = None
+    ) -> None:
+        kind = DEFAULT_QUEUE if queue is None else queue
+        if kind not in QUEUE_KINDS:
+            raise ValueError(
+                f"queue must be one of {QUEUE_KINDS}, got {queue!r}"
+            )
         self._now = float(initial_time)
         self._queue: list = []
+        self._urgent: deque = deque()
+        self._normal: deque = deque()
         self._eid = 0
         self._active: Optional[Process] = None
+        self._indexed = kind == "indexed"
+        self.queue_kind = kind
+        #: events actually delivered (callbacks walked)
+        self.events_processed = 0
+        #: dead events discarded at their fire time without delivery
+        self.events_skipped = 0
 
     @property
     def now(self) -> float:
@@ -317,24 +416,101 @@ class Environment:
 
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        if self._indexed and delay == 0.0:
+            # current-instant lane: O(1), no tuple, exact order preserved
+            # via the carried eid (lanes only ever hold events at _now)
+            event._eid = self._eid
+            if priority == URGENT:
+                self._urgent.append(event)
+            else:
+                self._normal.append(event)
+        else:
+            heapq.heappush(
+                self._queue, (self._now + delay, priority, self._eid, event)
+            )
+
+    def _discard_dead(self) -> None:
+        """Drop lazily-cancelled events from every queue head.
+
+        An event is discarded only at its own fire time (it can only reach
+        a head then), only while successful and unobserved; discarding
+        marks it processed so a late ``yield`` still takes the
+        already-processed fast path with the value it would have had.
+        """
+        for lane in (self._urgent, self._normal):
+            while lane:
+                head = lane[0]
+                if head._dead and head._ok and not head.callbacks:
+                    lane.popleft()
+                    head.callbacks = None
+                    self.events_skipped += 1
+                else:
+                    break
+        heap = self._queue
+        while heap:
+            head = heap[0][3]
+            if head._dead and head._ok and not head.callbacks:
+                heapq.heappop(heap)
+                head.callbacks = None
+                self.events_skipped += 1
+            else:
+                break
+
+    def _pop_next(self) -> Optional[Event]:
+        """Pop the next live event (advancing ``now``), or ``None``."""
+        self._discard_dead()
+        heap = self._queue
+        urgent = self._urgent
+        best_key = None
+        source = 0
+        if heap:
+            when, prio, eid, _event = heap[0]
+            best_key = (when, prio, eid)
+            source = 0
+        if urgent:
+            key = (self._now, URGENT, urgent[0]._eid)
+            if best_key is None or key < best_key:
+                best_key = key
+                source = 1
+        else:
+            normal = self._normal
+            if normal:
+                key = (self._now, NORMAL, normal[0]._eid)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    source = 2
+        if best_key is None:
+            return None
+        if source == 0:
+            when, _prio, _eid, event = heapq.heappop(heap)
+            self._now = when
+            return event
+        if source == 1:
+            return urgent.popleft()
+        return self._normal.popleft()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        self._discard_dead()
+        if self._urgent or self._normal:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process the next event.  Raises :class:`EmptySchedule` if none."""
-        if not self._queue:
+        event = self._pop_next()
+        if event is None:
             raise EmptySchedule("no more events scheduled")
-        when, _prio, _eid, event = heapq.heappop(self._queue)
-        self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
         if event._ok is False and not event._defused:
             # Unhandled failure: surface it to the caller of run()/step().
             raise event._value
+
+    def _pending(self) -> bool:
+        return bool(self._queue or self._urgent or self._normal)
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -344,7 +520,10 @@ class Environment:
         it is processed, returning its value).
         """
         if until is None:
-            while self._queue:
+            while self._pending():
+                self._discard_dead()
+                if not self._pending():
+                    break
                 self.step()
             return None
 
@@ -355,7 +534,8 @@ class Environment:
             done = []
             sentinel.callbacks.append(lambda event: done.append(event))
             while not done:
-                if not self._queue:
+                self._discard_dead()
+                if not self._pending():
                     raise EmptySchedule(
                         "schedule drained before the target event triggered"
                     )
@@ -370,7 +550,7 @@ class Environment:
             raise ValueError(
                 f"cannot run backwards: until={horizon} < now={self._now}"
             )
-        while self._queue and self._queue[0][0] <= horizon:
+        while self.peek() <= horizon:
             self.step()
         self._now = horizon
         return None

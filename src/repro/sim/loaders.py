@@ -100,6 +100,7 @@ class SimContext:
         hardware: HardwareConfig,
         num_gpus: int,
         cache_fraction: float = 0.8,
+        record_transfers: bool = True,
     ) -> None:
         if not 1 <= num_gpus <= hardware.max_gpus:
             raise ConfigurationError(
@@ -110,8 +111,14 @@ class SimContext:
         self.workload = workload
         self.hardware = hardware
         self.num_gpus = num_gpus
+        # record_transfers=False keeps the disk pipe's per-transfer log off
+        # (the multi-node runner only consumes aggregate totals; at
+        # benchmark scale the log is millions of tuples)
         self.disk = BandwidthPipe(
-            env, hardware.storage.bandwidth, hardware.storage.latency
+            env,
+            hardware.storage.bandwidth,
+            hardware.storage.latency,
+            record=record_transfers,
         )
         self.cache = PageCache(hardware.memory_bytes * cache_fraction)
         #: physical CPU cores: all CPU-side work queues here, so no loader

@@ -106,6 +106,11 @@ class BandwidthPipe:
     ``latency`` after its bytes drain, but the next queued transfer starts
     as soon as the bytes are through -- N queued readers pay one latency
     each, overlapped, never N serialized latencies.
+
+    ``record=False`` disables the per-transfer ``transfers`` log (one tuple
+    per transfer, unbounded -- benchmark-scale runs accumulate millions);
+    the scalar totals ``total_bytes`` / ``transfer_count`` are always
+    maintained, so aggregate accounting never needs the log.
     """
 
     def __init__(
@@ -124,8 +129,13 @@ class BandwidthPipe:
         self.latency = float(latency)
         self._available_at = 0.0
         self._record = record
-        #: completed transfers as (start, finish, nbytes)
+        #: completed transfers as (start, finish, nbytes); empty when
+        #: ``record=False``
         self.transfers: List[Tuple[float, float, float]] = []
+        #: total bytes ever transferred (maintained with recording off)
+        self.total_bytes = 0.0
+        #: total transfer count (maintained with recording off)
+        self.transfer_count = 0
 
     def transfer(self, nbytes: float) -> Timeout:
         """Schedule a transfer; the returned event fires on completion."""
@@ -136,6 +146,8 @@ class BandwidthPipe:
         # top, so queued transfers overlap their latencies
         self._available_at = start + nbytes / self.bandwidth
         finish = start + self.latency + nbytes / self.bandwidth
+        self.total_bytes += nbytes
+        self.transfer_count += 1
         if self._record:
             self.transfers.append((start, finish, float(nbytes)))
         return self.env.timeout(finish - self.env.now, value=nbytes)

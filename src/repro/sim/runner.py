@@ -208,7 +208,9 @@ def run_simulation(
             cpu_intervals, 0.0, duration, bucket=bucket, capacity=hardware.cpu_cores
         ),
         disk_series=ctx.disk.throughput_series(bucket=bucket),
-        bytes_from_disk=sum(n for _s, _f, n in ctx.disk.transfers),
+        # the always-on scalar total: correct even when the per-transfer
+        # log is disabled (record_transfers=False)
+        bytes_from_disk=ctx.disk.total_bytes,
         cache_hit_rate=ctx.cache.hit_rate,
     )
     if hasattr(loader, "worker_history"):

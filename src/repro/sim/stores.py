@@ -66,41 +66,73 @@ class Store:
         if self.on_change is not None:
             self.on_change(self.env.now, len(self.items))
 
+    # subclasses override the storage primitives, not the dispatch logic
+    def _add_item(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _pop_item(self) -> Any:
+        return self.items.popleft()
+
     def _dispatch(self) -> None:
         progressed = True
         while progressed:
             progressed = False
             while self._putters and len(self.items) < self.capacity:
                 put_event = self._putters.popleft()
-                self.items.append(put_event.item)
+                self._add_item(put_event.item)
                 put_event.succeed()
                 progressed = True
             while self._getters and self.items:
                 get_event = self._getters.popleft()
-                get_event.succeed(self.items.popleft())
+                get_event.succeed(self._pop_item())
                 progressed = True
         self._notify()
+
+    # the public operations fast-path the waiter-free common case (after
+    # every dispatch, pending getters imply an empty store and pending
+    # putters imply a full one, so a lone put/get with no opposing waiter
+    # can never unblock more than one queue scan) -- the loaders' polling
+    # loops hit try_get/try_put once per poll tick, which made the
+    # unconditional double scan a kernel hot spot
 
     def put(self, item: Any) -> StorePut:
         """Blocking put; the returned event fires once the item is enqueued."""
         event = StorePut(self.env, item)
-        self._putters.append(event)
-        self._dispatch()
+        if not self._putters and len(self.items) < self.capacity:
+            self._add_item(item)
+            event.succeed()
+            if self._getters:
+                self._dispatch()
+            else:
+                self._notify()
+        else:
+            self._putters.append(event)
+            self._dispatch()
         return event
 
     def get(self) -> StoreGet:
         """Blocking get; the returned event fires with the item as value."""
         event = StoreGet(self.env)
-        self._getters.append(event)
-        self._dispatch()
+        if self.items and not self._getters:
+            event.succeed(self._pop_item())
+            if self._putters:
+                self._dispatch()
+            else:
+                self._notify()
+        else:
+            self._getters.append(event)
+            self._dispatch()
         return event
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put.  Returns ``False`` when the store is full."""
         if len(self.items) >= self.capacity and not self._getters:
             return False
-        self.items.append(item)
-        self._dispatch()
+        self._add_item(item)
+        if self._getters:
+            self._dispatch()
+        else:
+            self._notify()
         return True
 
     def try_get(self) -> Any:
@@ -111,8 +143,11 @@ class Store:
         """
         if not self.items:
             return None
-        item = self.items.popleft()
-        self._dispatch()
+        item = self._pop_item()
+        if self._putters:
+            self._dispatch()
+        else:
+            self._notify()
         return item
 
 
@@ -132,32 +167,11 @@ class PriorityStore(Store):
         self._seq += 1
         heapq.heappush(self.items, (key, self._seq, payload))
 
-    def _dispatch(self) -> None:
-        progressed = True
-        while progressed:
-            progressed = False
-            while self._putters and len(self.items) < self.capacity:
-                put_event = self._putters.popleft()
-                self._push(put_event.item)
-                put_event.succeed()
-                progressed = True
-            while self._getters and self.items:
-                get_event = self._getters.popleft()
-                key, _seq, payload = heapq.heappop(self.items)
-                get_event.succeed((key, payload))
-                progressed = True
-        self._notify()
-
-    def try_put(self, item: Any) -> bool:
-        if len(self.items) >= self.capacity and not self._getters:
-            return False
+    # the shared dispatch/fast-path logic applies unchanged: only the
+    # storage primitives differ
+    def _add_item(self, item: Any) -> None:
         self._push(item)
-        self._dispatch()
-        return True
 
-    def try_get(self) -> Any:
-        if not self.items:
-            return None
+    def _pop_item(self) -> Any:
         key, _seq, payload = heapq.heappop(self.items)
-        self._dispatch()
         return (key, payload)

@@ -100,6 +100,28 @@ class Topology:
         membership snapshot ``ring``."""
         raise NotImplementedError
 
+    # -- homogeneous-rank collapse -----------------------------------------
+
+    def collapse_schedule(
+        self, ring: Sequence[Hashable], nbytes: float
+    ) -> Optional[List[Tuple[int, float, float, str]]]:
+        """Stage schedule of a *collapsed* all-reduce, or ``None``.
+
+        When every member of ``ring`` sees identical link parameters and
+        identical phase structure (a homogeneous snapshot), a lockstep
+        all-reduce advances every rank through the same per-stage timing:
+        one representative rank's schedule is the whole collective.  The
+        return value is one ``(stages, latency, stage_seconds, scope)``
+        tuple per ring phase, where ``stage_seconds`` is the chunk's pipe
+        occupancy (``chunk / bandwidth``) computed with *exactly* the
+        arithmetic :meth:`~repro.sim.resources.BandwidthPipe.transfer`
+        uses, so the fast path reproduces the simulated timestamps
+        bit-for-bit.  ``None`` means the snapshot is not collapsible
+        (heterogeneous links or asymmetric groups) and the caller must
+        simulate the full per-rank ring.
+        """
+        return None
+
 
 class FlatRing(Topology):
     """Single ring over the whole world on NIC-class links (the
@@ -130,6 +152,18 @@ class FlatRing(Topology):
             RingPhase("rs", full, "reduce_scatter", nbytes, "inter"),
             RingPhase("ag", full, "all_gather", nbytes, "inter"),
         ]
+
+    def collapse_schedule(
+        self, ring: Sequence[Hashable], nbytes: float
+    ) -> Optional[List[Tuple[int, float, float, str]]]:
+        # every member owns an identical NIC-class link, so a flat ring is
+        # always homogeneous: 2(W-1) stages of bytes/W chunks
+        world = len(ring)
+        if world <= 1:
+            return []
+        chunk = nbytes / world
+        stage = (world - 1, self.latency, chunk / self.bandwidth, "inter")
+        return [stage, stage]
 
 
 class Hierarchical(Topology):
@@ -261,3 +295,49 @@ class Hierarchical(Topology):
                 )
             )
         return plan
+
+    def collapse_schedule(
+        self, ring: Sequence[Hashable], nbytes: float
+    ) -> Optional[List[Tuple[int, float, float, str]]]:
+        groups = self._groups(ring)
+        sizes = {len(group) for group in groups.values()}
+        if len(sizes) != 1:
+            # ragged groups: inter-node rings at high intra positions span
+            # fewer nodes, so ranks see different plans
+            return None
+        group_size = sizes.pop()
+        params = {
+            self._intra_params.get(
+                node, (self.intra_latency, self.intra_bandwidth)
+            )
+            for node in groups
+        }
+        if len(params) != 1:
+            # per-node intra link overrides: nodes advance at different rates
+            return None
+        intra_latency, intra_bandwidth = params.pop()
+        n_nodes = len(groups)
+        schedule: List[Tuple[int, float, float, str]] = []
+        if group_size > 1:
+            intra_chunk = nbytes / group_size
+            intra_stage = (
+                group_size - 1,
+                intra_latency,
+                intra_chunk / intra_bandwidth,
+                "intra",
+            )
+            schedule.append(intra_stage)  # rs-intra
+        shard = nbytes / max(group_size, 1)
+        if n_nodes > 1:
+            inter_chunk = shard / n_nodes
+            inter_stage = (
+                n_nodes - 1,
+                self.latency,
+                inter_chunk / (self.bandwidth / self.gpus_per_node),
+                "inter",
+            )
+            schedule.append(inter_stage)  # rs-inter
+            schedule.append(inter_stage)  # ag-inter
+        if group_size > 1:
+            schedule.append(intra_stage)  # ag-intra
+        return schedule

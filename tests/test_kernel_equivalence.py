@@ -1,0 +1,204 @@
+"""Optimized-kernel equivalence: the indexed event queue and the
+homogeneous-rank collapse must be *invisible* in simulation results.
+
+Every cell of the topology x overlap x churn sweep runs the same scenario
+under four kernel configurations -- {exact heap, indexed queue} x
+{per-rank fabric, collapse enabled} -- and requires bit-identical
+:class:`DistributedResult` fields (only the observability counters
+``collapsed_collectives`` / ``sim_events`` may differ).  The collapse is
+not an approximation: it replicates the per-stage transfer arithmetic of
+the exact ring, so even float timing must agree exactly.
+
+The deactivation tests pin the other half of the contract: the fast path
+must *refuse* to engage when its preconditions fail (heterogeneous
+intra-node hardware, a failure armed mid-round) and fall back to the
+per-rank fabric, again without changing results.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.distributed import (
+    ClusterMembership,
+    MembershipEvent,
+    run_elastic,
+)
+from repro.sim.workloads import CONFIG_A, make_workload
+
+NODES = 4
+GPUS = 2
+STEPS_PER_GPU = 4
+
+CHURN = {
+    "static": (),
+    "churn": (
+        MembershipEvent("leave", node=0, epoch=1),
+        MembershipEvent("join", node=NODES, epoch=2),
+    ),
+    "fail": (MembershipEvent("fail", node=1, epoch=1, after=0.1),),
+}
+
+
+def run(
+    topology,
+    overlap,
+    events=(),
+    collapse=True,
+    queue=None,
+    node_hardware=None,
+    cache_fraction=1.0,
+):
+    workload = make_workload(
+        "image_segmentation", seed=0, dataset_size=6 * NODES
+    )
+    membership = ClusterMembership(NODES, list(events))
+    return run_elastic(
+        "minato",
+        workload,
+        CONFIG_A,
+        membership,
+        gpus_per_node=GPUS,
+        fabric="ring",
+        topology=topology,
+        overlap=overlap,
+        buckets=2 if overlap else 1,
+        node_hardware=node_hardware,
+        total_steps=STEPS_PER_GPU * NODES * GPUS,
+        cache_fraction=cache_fraction,
+        collapse=collapse,
+        queue=queue,
+    )
+
+
+def comparable(result):
+    """All result fields except the optimization-observability counters."""
+    fields = dict(vars(result))
+    for name in ("collapsed_collectives", "sim_events"):
+        fields.pop(name)
+    return fields
+
+
+@pytest.mark.parametrize("churn", sorted(CHURN))
+@pytest.mark.parametrize("overlap", [False, True], ids=["serial", "overlap"])
+@pytest.mark.parametrize("topology", ["flat", "hierarchical"])
+def test_kernel_configurations_agree(topology, overlap, churn):
+    events = CHURN[churn]
+    legacy = run(topology, overlap, events, collapse=False, queue="heap")
+    reference = comparable(legacy)
+    for collapse, queue in (
+        (True, None),  # the default kernel: indexed queue + collapse
+        (True, "heap"),
+        (False, None),
+    ):
+        candidate = run(topology, overlap, events, collapse=collapse, queue=queue)
+        assert comparable(candidate) == reference, (
+            f"{topology}/{'overlap' if overlap else 'serial'}/{churn}: "
+            f"collapse={collapse} queue={queue} diverged from exact heap"
+        )
+
+
+@st.composite
+def churn_schedules(draw):
+    """Random-but-valid membership schedules: optional leave, join, and
+    fail events on distinct nodes at drawn anchors."""
+    events = []
+    if draw(st.booleans()):
+        events.append(
+            MembershipEvent("leave", node=1, epoch=draw(st.integers(1, 2)))
+        )
+    if draw(st.booleans()):
+        events.append(
+            MembershipEvent("join", node=NODES, epoch=draw(st.integers(1, 2)))
+        )
+    if draw(st.booleans()):
+        events.append(
+            MembershipEvent(
+                "fail",
+                node=2,
+                epoch=draw(st.integers(0, 2)),
+                after=draw(st.sampled_from([0.0, 0.2, 0.5])),
+            )
+        )
+    return tuple(events)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    topology=st.sampled_from(["flat", "hierarchical"]),
+    overlap=st.booleans(),
+    events=churn_schedules(),
+    cache_fraction=st.sampled_from([0.8, 1.0]),
+)
+def test_equivalence_over_random_churn_schedules(
+    topology, overlap, events, cache_fraction
+):
+    """Hypothesis sweep: whatever the membership schedule throws at the
+    run, the optimized kernel's results match the exact kernel's."""
+    legacy = run(
+        topology, overlap, events,
+        collapse=False, queue="heap", cache_fraction=cache_fraction,
+    )
+    fast = run(topology, overlap, events, cache_fraction=cache_fraction)
+    assert comparable(fast) == comparable(legacy)
+
+
+@pytest.mark.parametrize("topology", ["flat", "hierarchical"])
+def test_collapse_engages_on_homogeneous_static_runs(topology):
+    result = run(topology, overlap=False)
+    assert result.collapsed_collectives > 0
+
+
+def test_collapse_deactivates_under_heterogeneity():
+    """Mixed intra-node hardware breaks the closed form's homogeneity
+    precondition: the hierarchical schedule must refuse to collapse."""
+    slow = dataclasses.replace(
+        CONFIG_A, name="config_a_slow_nvlink", intra_node_bandwidth=150e9
+    )
+    legacy = run(
+        "hierarchical", False, collapse=False, queue="heap",
+        node_hardware={0: slow},
+    )
+    fast = run("hierarchical", False, node_hardware={0: slow})
+    assert fast.collapsed_collectives == 0
+    assert comparable(fast) == comparable(legacy)
+
+
+def test_collapse_deactivates_when_failure_armed(monkeypatch):
+    """A fail event scheduled inside a round disables the fast path for
+    that whole round (a representative-rank walk cannot model a rank dying
+    mid-collective); rounds after the failure may legitimately collapse
+    again.  Spy on the decider to prove no collective that started while
+    the doomed rank was armed ever collapsed."""
+    from repro.sim import fabric as fabric_mod
+
+    entries = []
+    original = fabric_mod.RingFabric._collapse_decider
+
+    def spy(self, key, entry):
+        entries.append(entry)
+        return original(self, key, entry)
+
+    monkeypatch.setattr(fabric_mod.RingFabric, "_collapse_decider", spy)
+    fail_after = 0.3
+    events = (MembershipEvent("fail", node=1, epoch=0, after=fail_after),)
+    legacy = run("flat", False, events, collapse=False, queue="heap")
+    fast = run("flat", False, events)
+    assert comparable(fast) == comparable(legacy)
+    # the armed round never even registers a collapse attempt: the runner
+    # clears ring.collapse before its first step, so any recorded entry
+    # must postdate the death
+    assert entries, "collapse never re-engaged after the failure round"
+    assert all(entry.t0 > fail_after for entry in entries)
+    assert fast.collapsed_collectives == sum(e.collapsed for e in entries)
+
+
+def test_collapse_counter_reported():
+    """The observability counters surface in the result and differ between
+    kernels exactly as designed."""
+    fast = run("flat", False)
+    legacy = run("flat", False, collapse=False, queue="heap")
+    assert legacy.collapsed_collectives == 0
+    assert fast.sim_events < legacy.sim_events
