@@ -120,3 +120,6 @@ def test_scenario_grid_shape():
     assert any(s.overlap for s in SCENARIOS)
     assert any(s.events for s in SCENARIOS)
     assert {s.ranks for s in SCENARIOS} == {64, 256, 1000}
+    # the multi-tenant axis: at least one scenario runs a shared-cluster
+    # job mix, so kernel cost under contention stays measured
+    assert any(s.jobs > 1 for s in SCENARIOS)

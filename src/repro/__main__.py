@@ -161,6 +161,39 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_scenarios(args) -> int:
+    """Run a multi-tenant scenario: one preset job mix on a shared cluster
+    (``--preset``), or the full preset sweep with shape checks when no
+    preset is named."""
+    from .sim.scenarios import PRESETS, run_preset
+
+    if args.list:
+        width = max(len(name) for name in PRESETS)
+        for name, build in sorted(PRESETS.items()):
+            doc = (build.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:{width}s}  {doc}")
+        return 0
+    if args.preset is not None:
+        if args.preset not in PRESETS:
+            print(
+                f"unknown preset {args.preset!r}; expected one of "
+                f"{sorted(PRESETS)}",
+                file=sys.stderr,
+            )
+            return 2
+        mix_result = run_preset(args.preset, scale=args.scale or 1.0)
+        print(mix_result.summary())
+        return 0
+    runner = REGISTRY["scenarios"]
+    kwargs = {"scale": args.scale} if args.scale is not None else {}
+    result = runner(**kwargs)
+    print(result.render())
+    if args.output:
+        path = result.save(args.output)
+        print(f"saved {path}", file=sys.stderr)
+    return 0 if result.all_passed else 1
+
+
 def _cmd_report(args) -> int:
     report_module.main(
         (["--scale", str(args.scale)] if args.scale is not None else [])
@@ -254,6 +287,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the JSON report here (e.g. BENCH_kernel.json)",
     )
 
+    scenarios_parser = sub.add_parser(
+        "scenarios",
+        help="multi-tenant job mixes on a shared cluster",
+    )
+    scenarios_parser.add_argument(
+        "--preset",
+        default=None,
+        help="run one named preset mix (steady, burst, worker_failure, "
+        "network_partition) and print its per-tenant summary",
+    )
+    scenarios_parser.add_argument(
+        "--scale", type=float, default=None, help="step-budget scale factor"
+    )
+    scenarios_parser.add_argument(
+        "--list", action="store_true", help="list available presets"
+    )
+    scenarios_parser.add_argument(
+        "--output", default=None, help="save the sweep report here"
+    )
+
     report_parser = sub.add_parser("report", help="generate EXPERIMENTS.md")
     report_parser.add_argument("--scale", type=float, default=None)
     report_parser.add_argument("--output", default="EXPERIMENTS.md")
@@ -267,6 +320,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_distributed(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
     return _cmd_report(args)
 
 

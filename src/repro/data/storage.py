@@ -185,7 +185,7 @@ class PageCache:
             if size is not None:
                 self._used -= size
 
-    def stale_bytes(self, owned) -> float:
+    def stale_bytes(self, owned, namespace=None) -> float:
         """Bytes cached for keys outside ``owned`` (invalidation pressure).
 
         After a shard re-assignment a node may still hold entries for
@@ -193,16 +193,27 @@ class PageCache:
         occupy capacity without any chance of a hit.  This reports that
         abandoned footprint so re-shard policies account for it as memory
         pressure instead of silently inflating hit rates.
+
+        On a cache shared by several tenants (cluster node sites), entries
+        are keyed ``(namespace, index)``; pass the caller's ``namespace``
+        to scope the question to its own entries -- another tenant's cached
+        bytes are that tenant's working set, not this one's staleness.
         """
         owned_keys = set(owned)
         with self._lock:
-            return float(
-                sum(
-                    size
-                    for key, size in self._entries.items()
-                    if key not in owned_keys
-                )
-            )
+            total = 0
+            for key, size in self._entries.items():
+                if namespace is not None:
+                    if not (
+                        isinstance(key, tuple)
+                        and len(key) == 2
+                        and key[0] == namespace
+                    ):
+                        continue
+                    key = key[1]
+                if key not in owned_keys:
+                    total += size
+            return float(total)
 
     def clear(self) -> None:
         with self._lock:

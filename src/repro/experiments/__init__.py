@@ -26,6 +26,7 @@ from . import (
     fig11a,
     fig11bc,
     fig12,
+    scenarios,
     table2,
 )
 from .common import Check, ExperimentReport, default_scale
@@ -51,6 +52,7 @@ REGISTRY: Dict[str, Callable[[], ExperimentReport]] = {
     "distributed": distributed.run,
     "distributed_elastic": distributed.run_elastic_experiment,
     "distributed_overlap": distributed.run_overlap_experiment,
+    "scenarios": scenarios.run,
 }
 
 __all__ = [

@@ -7,13 +7,24 @@ workload specifications matching the paper's Table 1/Table 2
 (:mod:`repro.sim.loaders`) and the experiment runner (:mod:`repro.sim.runner`).
 """
 
+from .cluster import Cluster, ClusterMembership, MembershipEvent, PartitionEvent
 from .fabric import RingFabric
 from .kernel import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
 from .resources import BandwidthPipe, Request, Resource
+from .scenarios import PRESETS, JobMix, JobSpec, MixResult, run_preset
 from .stores import PriorityStore, Store
 from .topology import FlatRing, Hierarchical, Topology
 
 __all__ = [
+    "Cluster",
+    "ClusterMembership",
+    "MembershipEvent",
+    "PartitionEvent",
+    "JobMix",
+    "JobSpec",
+    "MixResult",
+    "PRESETS",
+    "run_preset",
     "RingFabric",
     "Topology",
     "FlatRing",

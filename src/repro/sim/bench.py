@@ -33,6 +33,9 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from typing import Union
+
+from .cluster import Cluster
 from .distributed import (
     AllReduceModel,
     ClusterMembership,
@@ -40,6 +43,7 @@ from .distributed import (
     MembershipEvent,
     run_elastic,
 )
+from .scenarios import JobMix, JobSpec, MixResult
 from .workloads import CONFIG_A, CONFIG_B, make_workload
 
 HARDWARE = {"config_a": CONFIG_A, "config_b": CONFIG_B}
@@ -97,6 +101,11 @@ class BenchScenario:
     #: measure the exact-path baseline too (off for runs too large to
     #: simulate per-rank in CI; their optimized wall-clock is the metric)
     measure_baseline: bool = True
+    #: identical tenant jobs submitted to one shared cluster.  1 = the
+    #: classic single-job path; >1 runs a JobMix so the benchmark covers
+    #: the multi-tenant machinery (shared link pipes, namespaced caches,
+    #: collapse forced off by sharing) at grid scale
+    jobs: int = 1
 
     @property
     def ranks(self) -> int:
@@ -104,17 +113,9 @@ class BenchScenario:
 
     def run(
         self, collapse: bool, queue: Optional[str]
-    ) -> Tuple[DistributedResult, float]:
+    ) -> Tuple[Union[DistributedResult, MixResult], float]:
         """Execute the scenario once; returns (result, wall_seconds)."""
-        workload = make_workload(
-            self.workload, seed=0, dataset_size=self.dataset_per_node * self.nodes
-        )
         membership = ClusterMembership(self.nodes, list(self.events))
-        allreduce = (
-            AllReduceModel(latency=self.allreduce_latency)
-            if self.allreduce_latency is not None
-            else None
-        )
         loader_kwargs = {}
         if self.poll_interval is not None:
             loader_kwargs["poll_interval"] = self.poll_interval
@@ -124,6 +125,49 @@ class BenchScenario:
         # run's garbage outside the timed region so gen-2 sweeps over dead
         # event graphs don't tax whichever scenario happens to run next
         gc.collect()
+        if self.jobs > 1:
+            specs = [
+                JobSpec(
+                    job_id=f"tenant-{i}",
+                    loader="minato",
+                    workload_name=self.workload,
+                    dataset_size=self.dataset_per_node * self.nodes,
+                    loader_kwargs=loader_kwargs or None,
+                    total_steps=self.steps_per_gpu * self.ranks,
+                    fabric="ring",
+                    reshard=self.reshard,
+                    overlap=self.overlap,
+                    buckets=self.buckets,
+                    collapse=collapse,
+                )
+                for i in range(self.jobs)
+            ]
+            started = time.perf_counter()
+            mix = JobMix(
+                specs,
+                Cluster(
+                    membership,
+                    HARDWARE[self.hardware],
+                    gpus_per_node=self.gpus_per_node,
+                    cache_fraction=self.cache_fraction,
+                    topology=self.topology,
+                    link_latency=(
+                        self.allreduce_latency
+                        if self.allreduce_latency is not None
+                        else AllReduceModel().latency
+                    ),
+                    queue=queue,
+                ),
+            )
+            return mix.run(), time.perf_counter() - started
+        workload = make_workload(
+            self.workload, seed=0, dataset_size=self.dataset_per_node * self.nodes
+        )
+        allreduce = (
+            AllReduceModel(latency=self.allreduce_latency)
+            if self.allreduce_latency is not None
+            else None
+        )
         started = time.perf_counter()
         result = run_elastic(
             "minato",
@@ -162,6 +206,10 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
     BenchScenario("flat-overlap-static-64", "flat", True, nodes=16, buckets=4),
     BenchScenario("flat-serial-churn-64", "flat", False, nodes=16,
                   steps_per_gpu=6, cache_fraction=0.8, events=_churn(16)),
+    # two tenants on one shared cluster: collectives from both jobs queue
+    # on the same link pipes, caches are namespaced, and sharing forces
+    # the collapse off -- the multi-tenant machinery at benchmark scale
+    BenchScenario("mix-two-job-64", "flat", False, nodes=16, jobs=2),
     BenchScenario("hier-serial-static-256", "hierarchical", False, nodes=64,
                   steps_per_gpu=8, workload="image_segmentation",
                   dataset_per_node=12, allreduce_latency=1e-4),
@@ -197,11 +245,35 @@ def scenario_by_name(name: str) -> BenchScenario:
     )
 
 
-def _comparable(result: DistributedResult) -> Dict[str, object]:
+def _comparable(result: Union[DistributedResult, MixResult]) -> object:
+    if isinstance(result, MixResult):
+        # a mix compares job-by-job (the mix-level sim_events counter is
+        # observability, exactly like the per-result one)
+        return [_comparable(job) for job in result.jobs]
     fields = dict(vars(result))
     for name in OBSERVABILITY_FIELDS:
         fields.pop(name, None)
     return fields
+
+
+def _virtual_seconds(result: Union[DistributedResult, MixResult]) -> float:
+    return (
+        result.makespan
+        if isinstance(result, MixResult)
+        else result.training_time
+    )
+
+
+def _step_total(result: Union[DistributedResult, MixResult]) -> int:
+    if isinstance(result, MixResult):
+        return sum(job.steps for job in result.jobs)
+    return result.steps
+
+
+def _collapsed(result: Union[DistributedResult, MixResult]) -> int:
+    if isinstance(result, MixResult):
+        return sum(job.collapsed_collectives for job in result.jobs)
+    return result.collapsed_collectives
 
 
 def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
@@ -217,14 +289,15 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
         "nodes": scenario.nodes,
         "buckets": scenario.buckets,
         "steps_per_gpu": scenario.steps_per_gpu,
+        "jobs": scenario.jobs,
         "churn_events": len(scenario.events),
-        "virtual_seconds": optimized.training_time,
-        "steps": optimized.steps,
+        "virtual_seconds": _virtual_seconds(optimized),
+        "steps": _step_total(optimized),
         "optimized": {
             "wall_seconds": opt_wall,
             "events": optimized.sim_events,
             "events_per_sec": optimized.sim_events / max(opt_wall, 1e-9),
-            "collapsed_collectives": optimized.collapsed_collectives,
+            "collapsed_collectives": _collapsed(optimized),
         },
     }
     if scenario.measure_baseline:

@@ -1,0 +1,555 @@
+"""Cluster-owned simulation resources (the multi-tenant substrate).
+
+Historically :func:`repro.sim.distributed.run_elastic` privately constructed
+every resource it touched -- the :class:`~repro.sim.kernel.Environment`, the
+collective :class:`~repro.sim.topology.Topology` and its per-(member, scope)
+:class:`~repro.sim.resources.BandwidthPipe` links, each node's storage pipe /
+page cache / CPU cores -- so exactly one training job could ever exist per
+simulated world.  Production clusters run many concurrent jobs contending
+for those same resources.
+
+This module inverts the ownership:
+
+* :class:`Cluster` owns the kernel (one ``Environment``), the
+  :class:`ClusterMembership` (join/leave/fail schedule plus network
+  :class:`PartitionEvent` windows), the shared interconnect topology (links
+  are keyed by the *cluster*, not by a run), and per-node
+  :class:`NodeSite` bundles (storage pipe, page cache, CPU cores);
+* jobs (:func:`~repro.sim.distributed.run_elastic`,
+  :class:`~repro.sim.scenarios.JobMix`) are *submitted to* a cluster.  A job
+  constructed without one gets a fresh private cluster -- byte-identical to
+  the pre-refactor behaviour, pinned by the kernel-equivalence tests.
+
+Validation helpers shared by every entry point (``run_elastic``,
+``run_distributed``, ``JobMix``) also live here, so malformed configs fail
+with one message style at whichever door they knock on.
+
+Nothing in this module may import :mod:`repro.sim.distributed` or
+:mod:`repro.sim.scenarios` (they import us); the fabric is reached through
+:class:`~repro.sim.fabric.RingFabric` only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..data.storage import PageCache
+from ..errors import ConfigurationError
+from .fabric import RingFabric
+from .kernel import Environment
+from .resources import BandwidthPipe, Resource
+from .topology import TOPOLOGIES, FlatRing, Hierarchical, Topology
+from .workloads import HardwareConfig
+
+__all__ = [
+    "Cluster",
+    "ClusterMembership",
+    "MembershipEvent",
+    "PartitionEvent",
+    "NodeSite",
+    "EVENT_KINDS",
+    "FABRICS",
+    "DEFAULT_LINK_LATENCY",
+    "DEFAULT_LINK_BANDWIDTH",
+    "resolve_gpus_per_node",
+    "validate_fabric",
+    "validate_step_loop_args",
+    "validate_budget_args",
+    "validate_job_mix",
+]
+
+FABRICS = ("analytic", "ring")
+
+#: NIC-class link defaults shared by the cluster and the closed-form
+#: :class:`~repro.sim.distributed.AllReduceModel` (200 Gb/s interconnect)
+DEFAULT_LINK_LATENCY = 0.0015
+DEFAULT_LINK_BANDWIDTH = 25e9
+
+
+# ---------------------------------------------------------------------------
+# Membership schedule
+# ---------------------------------------------------------------------------
+
+EVENT_KINDS = ("join", "leave", "fail")
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One membership change, anchored in virtual time or at an epoch.
+
+    * ``kind="join"``: the node becomes available and starts participating
+      (with a freshly derived shard) at the next epoch boundary;
+    * ``kind="leave"``: graceful departure -- the node finishes its current
+      epoch and is excluded from the re-shard at the anchor boundary;
+    * ``kind="fail"``: abrupt mid-epoch death ``after`` virtual seconds into
+      the anchored epoch (or at absolute ``time``): the node's GPU processes
+      are interrupted, its loader halted, and its in-flight ring chunks are
+      filled in by the failure detector so neighbors stall but never
+      deadlock.  Its unconsumed shard remainder is lost for that epoch and
+      re-covered by the next boundary's re-shard.
+    """
+
+    kind: str
+    node: int
+    #: anchor at this epoch (applied at its start boundary; fails fire
+    #: ``after`` seconds into it)
+    epoch: Optional[int] = None
+    #: anchor at this absolute virtual time
+    time: Optional[float] = None
+    #: fail only: virtual seconds into the anchored epoch
+    after: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"kind must be one of {EVENT_KINDS}, got {self.kind!r}"
+            )
+        if self.node < 0:
+            raise ConfigurationError(f"node must be >= 0, got {self.node!r}")
+        if (self.epoch is None) == (self.time is None):
+            raise ConfigurationError(
+                "exactly one of epoch / time must anchor a membership event"
+            )
+        if self.epoch is not None and self.epoch < 0:
+            raise ConfigurationError(f"epoch must be >= 0, got {self.epoch!r}")
+        if self.time is not None and self.time < 0:
+            raise ConfigurationError(f"time must be >= 0, got {self.time!r}")
+        if self.after < 0:
+            raise ConfigurationError(f"after must be >= 0, got {self.after!r}")
+        if self.after > 0 and self.kind != "fail":
+            raise ConfigurationError(
+                "after is only meaningful for fail events (join/leave apply "
+                "at epoch boundaries)"
+            )
+        if self.after > 0 and self.time is not None:
+            raise ConfigurationError(
+                "after offsets an epoch anchor; with an absolute time "
+                "anchor, fold the offset into time itself"
+            )
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """A transient reachability split that heals.
+
+    For ``duration`` virtual seconds starting at ``time``, the nodes in
+    ``nodes`` cannot exchange collective traffic with the rest of the
+    cluster (links *within* each side keep working).  Unlike a fail event
+    nothing dies: ring deliveries crossing the cut stall until the window
+    closes and then resume -- the fabric recovers instead of aborting.
+    Partitions require the ring fabric (the analytic barrier has no links
+    to stall).
+    """
+
+    nodes: Tuple[int, ...]
+    time: float
+    duration: float
+
+    def __init__(
+        self, nodes: Sequence[int], time: float, duration: float
+    ) -> None:
+        object.__setattr__(self, "nodes", tuple(nodes))
+        object.__setattr__(self, "time", float(time))
+        object.__setattr__(self, "duration", float(duration))
+        if not self.nodes:
+            raise ConfigurationError(
+                "a partition must isolate at least one node"
+            )
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ConfigurationError(
+                f"partition nodes must be unique, got {list(nodes)!r}"
+            )
+        if any(node < 0 for node in self.nodes):
+            raise ConfigurationError(
+                f"partition nodes must be >= 0, got {list(nodes)!r}"
+            )
+        if self.time < 0:
+            raise ConfigurationError(f"time must be >= 0, got {time!r}")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive (partitions heal), got {duration!r}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.time + self.duration
+
+    def splits(self, node_a: int, node_b: int) -> bool:
+        """True when this partition puts ``node_a`` and ``node_b`` on
+        opposite sides of the cut."""
+        return (node_a in self.nodes) != (node_b in self.nodes)
+
+
+class ClusterMembership:
+    """A cluster's initial size plus its schedule of membership events.
+
+    Nodes are integer ids; the initial cluster is ``0..initial_nodes-1`` and
+    join events introduce new ids.  The same node id may appear in at most
+    one join and at most one leave/fail (a node's lifetime is one interval;
+    re-joining hardware is a new node id).
+
+    ``partitions`` holds transient :class:`PartitionEvent` reachability
+    splits; :meth:`partition_release` answers the fabric's only question
+    about them (when can a cross-cut delivery land?).
+    """
+
+    def __init__(
+        self,
+        initial_nodes: int,
+        events: Sequence[MembershipEvent] = (),
+        partitions: Sequence[PartitionEvent] = (),
+    ) -> None:
+        if initial_nodes < 1:
+            raise ConfigurationError(
+                f"initial_nodes must be >= 1, got {initial_nodes!r}"
+            )
+        self.initial_nodes = initial_nodes
+        self.events: Tuple[MembershipEvent, ...] = tuple(events)
+        self.partitions: Tuple[PartitionEvent, ...] = tuple(partitions)
+        initial = set(range(initial_nodes))
+        joined: Set[int] = set()
+        removed: Set[int] = set()
+        for event in self.events:
+            if event.kind == "join":
+                if event.node in initial or event.node in joined:
+                    raise ConfigurationError(
+                        f"node {event.node} joins twice (or is an initial node)"
+                    )
+                joined.add(event.node)
+            else:
+                if event.node not in initial | joined:
+                    raise ConfigurationError(
+                        f"{event.kind} targets unknown node {event.node}"
+                    )
+                if event.node in removed:
+                    raise ConfigurationError(
+                        f"node {event.node} leaves/fails twice"
+                    )
+                removed.add(event.node)
+        known = initial | joined
+        for partition in self.partitions:
+            unknown = [n for n in partition.nodes if n not in known]
+            if unknown:
+                raise ConfigurationError(
+                    f"partition isolates unknown node(s) {unknown}"
+                )
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Every node id that is ever part of the cluster."""
+        ids = set(range(self.initial_nodes))
+        ids.update(e.node for e in self.events if e.kind == "join")
+        return sorted(ids)
+
+    def partition_release(
+        self, now: float, node_a: int, node_b: int
+    ) -> float:
+        """Earliest virtual time >= ``now`` at which ``node_a`` can deliver
+        to ``node_b``: ``now`` itself when no active partition separates
+        them, otherwise the end of the last window in the chain of
+        (possibly overlapping) partitions that do."""
+        if node_a == node_b or not self.partitions:
+            return now
+        release = now
+        changed = True
+        # fixpoint over overlapping windows: healing out of one cut may
+        # land inside another that also separates the pair
+        while changed:
+            changed = False
+            for partition in self.partitions:
+                if (
+                    partition.splits(node_a, node_b)
+                    and partition.time <= release < partition.end
+                ):
+                    release = partition.end
+                    changed = True
+        return release
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterMembership(initial_nodes={self.initial_nodes}, "
+            f"events={list(self.events)!r}, "
+            f"partitions={list(self.partitions)!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared entry-point validation
+# ---------------------------------------------------------------------------
+
+
+def validate_fabric(fabric: str) -> None:
+    if fabric not in FABRICS:
+        raise ConfigurationError(
+            f"fabric must be one of {FABRICS}, got {fabric!r}"
+        )
+
+
+def resolve_gpus_per_node(
+    gpus_per_node: Optional[int], hardware: HardwareConfig
+) -> int:
+    """Explicit argument > ``hardware.gpus_per_node`` > 1."""
+    if gpus_per_node is None:
+        gpus_per_node = (
+            hardware.gpus_per_node if hardware.gpus_per_node is not None else 1
+        )
+    return gpus_per_node
+
+
+def validate_step_loop_args(
+    gpus_per_node: int, buckets: int, topology: str
+) -> None:
+    """Reject malformed step-loop arguments at the entry point, with the
+    same explicit message style as the ``node_hardware`` length check --
+    a zero/negative count would otherwise surface as a divide-by-zero (or a
+    silently empty round) deep inside the round executor."""
+    if not isinstance(gpus_per_node, int) or gpus_per_node < 1:
+        raise ConfigurationError(
+            f"gpus_per_node must be a positive integer, got {gpus_per_node!r}"
+        )
+    if not isinstance(buckets, int) or buckets < 1:
+        raise ConfigurationError(
+            f"buckets must be a positive integer (gradient bucket count "
+            f"per step), got {buckets!r}"
+        )
+    if topology not in TOPOLOGIES:
+        raise ConfigurationError(
+            f"topology must be one of {TOPOLOGIES}, got {topology!r}"
+        )
+
+
+def validate_budget_args(
+    workload, epochs: Optional[int], total_steps: Optional[int]
+) -> None:
+    """The epoch-vs-iteration budget rules every job entry point shares."""
+    if epochs is not None and workload.iterations is not None:
+        raise ConfigurationError(
+            "epochs override requires an epoch-based workload; rebuild the "
+            "workload with epochs instead of iterations (loader tail "
+            "semantics differ between the two budgets)"
+        )
+    if total_steps is not None and epochs is not None:
+        raise ConfigurationError(
+            "total_steps fixes a cluster-wide step budget; it cannot be "
+            "combined with an epochs override"
+        )
+    if total_steps is not None and total_steps < 1:
+        raise ConfigurationError(
+            f"total_steps must be >= 1, got {total_steps!r}"
+        )
+
+
+def validate_job_mix(jobs: Sequence) -> None:
+    """Shared shape checks for a multi-tenant job mix.
+
+    ``jobs`` is any sequence of objects with ``job_id`` / ``priority`` /
+    ``arrival`` attributes (:class:`~repro.sim.scenarios.JobSpec` in
+    practice)."""
+    if not jobs:
+        raise ConfigurationError(
+            "job mix is empty; a JobMix needs at least one JobSpec"
+        )
+    seen: Set[str] = set()
+    for spec in jobs:
+        job_id = getattr(spec, "job_id", None)
+        if not isinstance(job_id, str) or not job_id:
+            raise ConfigurationError(
+                f"job_id must be a non-empty string, got {job_id!r}"
+            )
+        if job_id in seen:
+            raise ConfigurationError(f"duplicate job id {job_id!r} in mix")
+        seen.add(job_id)
+        if spec.priority < 0:
+            raise ConfigurationError(
+                f"job {job_id!r}: priority must be >= 0, got {spec.priority!r}"
+            )
+        if spec.arrival < 0:
+            raise ConfigurationError(
+                f"job {job_id!r}: arrival must be >= 0, got {spec.arrival!r}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Per-node shared resources
+# ---------------------------------------------------------------------------
+
+
+class NodeSite:
+    """One node's shareable data-path resources.
+
+    Every job running on the node contends here: the storage pipe (one
+    device, FIFO bandwidth server), the page cache (one physical DRAM pool;
+    tenants key their entries by a per-job namespace so two jobs' sample
+    index 0 never collide), and the CPU cores.  GPUs stay per-job -- the
+    scheduler hands each job a disjoint GPU allocation, so compute does not
+    contend; the paper's contention story is the data path.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        hardware: HardwareConfig,
+        cache_fraction: float,
+        record_transfers: bool = False,
+    ) -> None:
+        self.hardware = hardware
+        self.disk = BandwidthPipe(
+            env,
+            hardware.storage.bandwidth,
+            hardware.storage.latency,
+            record=record_transfers,
+        )
+        self.cache = PageCache(hardware.memory_bytes * cache_fraction)
+        self.cores = Resource(env, capacity=hardware.cpu_cores)
+
+
+# ---------------------------------------------------------------------------
+# The cluster
+# ---------------------------------------------------------------------------
+
+
+class Cluster:
+    """Owns the kernel, the membership, the interconnect and the node sites.
+
+    One cluster hosts any number of jobs.  Link pipes are keyed by the
+    cluster's single :class:`~repro.sim.topology.Topology` instance, so two
+    jobs' collectives queue on the *same* NIC pipes; node sites are created
+    lazily and persist across jobs (a second job arrives at a warm cache).
+
+    ``storage_over_nic=True`` routes every cache-miss sample read over the
+    owning node's inter-node link as well as its storage pipe, so loader
+    traffic and collective traffic contend on the same NIC -- the
+    remote-filesystem regime (Config A's Lustre).  Off by default: the
+    single-job equivalence pin covers the separate-worlds behaviour.
+    """
+
+    def __init__(
+        self,
+        membership: ClusterMembership,
+        hardware: HardwareConfig,
+        node_hardware: Optional[Dict[int, HardwareConfig]] = None,
+        gpus_per_node: Optional[int] = None,
+        cache_fraction: float = 0.8,
+        topology: str = "flat",
+        link_latency: float = DEFAULT_LINK_LATENCY,
+        link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+        storage_over_nic: bool = False,
+        queue: Optional[str] = None,
+    ) -> None:
+        if not isinstance(membership, ClusterMembership):
+            raise ConfigurationError(
+                f"membership must be a ClusterMembership, got {membership!r}"
+            )
+        if topology not in TOPOLOGIES:
+            raise ConfigurationError(
+                f"topology must be one of {TOPOLOGIES}, got {topology!r}"
+            )
+        if link_bandwidth <= 0:
+            raise ConfigurationError(
+                f"link_bandwidth must be positive, got {link_bandwidth!r}"
+            )
+        if link_latency < 0:
+            raise ConfigurationError(
+                f"link_latency must be >= 0, got {link_latency!r}"
+            )
+        self.env = Environment(queue=queue)
+        self.membership = membership
+        self.hardware = hardware
+        self._hw_map: Dict[int, HardwareConfig] = dict(node_hardware or {})
+        self.gpus_per_node = resolve_gpus_per_node(gpus_per_node, hardware)
+        self.cache_fraction = cache_fraction
+        self.topology_name = topology
+        self.link_latency = float(link_latency)
+        self.link_bandwidth = float(link_bandwidth)
+        self.storage_over_nic = bool(storage_over_nic)
+        self._topology: Optional[Topology] = None
+        self._sites: Dict[int, NodeSite] = {}
+        #: jobs ever attached; >1 means resources are genuinely shared and
+        #: the homogeneous-rank collapse must stay off (its quiescence
+        #: check cannot see another job's future link reservations)
+        self._attached_jobs = 0
+
+    # -- job attachment ----------------------------------------------------
+
+    def attach_job(self) -> None:
+        self._attached_jobs += 1
+
+    @property
+    def shared(self) -> bool:
+        """True once more than one job has attached to this cluster."""
+        return self._attached_jobs > 1
+
+    # -- hardware ----------------------------------------------------------
+
+    def hw_for(self, node: int) -> HardwareConfig:
+        return self._hw_map.get(node, self.hardware)
+
+    def site(self, node: int) -> NodeSite:
+        """The node's shared resource bundle (created on first use)."""
+        site = self._sites.get(node)
+        if site is None:
+            hw = self.hw_for(node)
+            fraction = (
+                hw.cache_fraction
+                if hw.cache_fraction is not None
+                else self.cache_fraction
+            )
+            site = NodeSite(self.env, hw, fraction, record_transfers=False)
+            self._sites[node] = site
+        return site
+
+    # -- interconnect ------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """The shared link topology (one instance per cluster; every
+        fabric created by :meth:`make_fabric` routes through it)."""
+        if self._topology is None:
+            if self.topology_name == "hierarchical":
+                self._topology = Hierarchical(
+                    self.env,
+                    latency=self.link_latency,
+                    bandwidth=self.link_bandwidth,
+                    intra_latency=self.hardware.intra_node_latency,
+                    intra_bandwidth=self.hardware.intra_node_bandwidth,
+                    gpus_per_node=self.gpus_per_node,
+                    intra_params={
+                        node: (hw.intra_node_latency, hw.intra_node_bandwidth)
+                        for node, hw in self._hw_map.items()
+                    },
+                )
+            else:
+                self._topology = FlatRing(
+                    self.env, self.link_latency, self.link_bandwidth
+                )
+        return self._topology
+
+    def make_fabric(
+        self, gradient_bytes: float, detection_timeout: float = 1.0
+    ) -> RingFabric:
+        """A per-job ring fabric over the cluster's shared links.
+
+        Gradient size is the job's; latency/bandwidth and the link pipes
+        belong to the cluster, so concurrent jobs' collectives contend.
+        Partition windows on the membership are wired into the fabric's
+        delivery path (cross-cut chunks stall until the window heals).
+        """
+        return RingFabric(
+            self.env,
+            latency=self.link_latency,
+            bandwidth=self.link_bandwidth,
+            gradient_bytes=gradient_bytes,
+            detection_timeout=detection_timeout,
+            topology=self.topology,
+            partitions=(
+                self.membership if self.membership.partitions else None
+            ),
+        )
+
+    def loader_nic(self, node: int):
+        """The pipe a node's loader misses traverse when storage is remote
+        (``storage_over_nic``); None when loader traffic stays off-NIC."""
+        if not self.storage_over_nic:
+            return None
+        return self.topology.nic_link(node)

@@ -37,14 +37,24 @@ behind backprop and only the non-overlapped remainder
 (``exposed_sync_seconds``) extends the step -- PyTorch DDP's gradient
 bucketing over NCCL's hierarchical rings, in model form.
 
-:func:`run_elastic` is the round executor: it runs a
-:class:`ClusterMembership` schedule of join/leave/fail events with
-epoch-boundary re-sharding (every surviving node's sampler is re-derived via
-``ShardedSampler.reshard``) and, for iteration-budgeted workloads, re-splits
-the remaining cluster-wide step budget across the surviving membership.
-:func:`run_distributed` is a thin wrapper over it -- a static cluster is
-elastic with an empty event schedule -- so the DDP step loop, the barrier
-and the fabric wiring exist exactly once.
+Resource ownership lives one layer below, in :mod:`repro.sim.cluster`: a
+:class:`~repro.sim.cluster.Cluster` owns the kernel, the membership, the
+link topology and the per-node storage/cache/CPU sites.  A *job*
+(:class:`_ElasticJob`, the round executor behind :func:`run_elastic`) is
+submitted to a cluster; when none is passed, it builds a private one --
+byte-identical to the pre-refactor single-tenant behaviour (pinned by the
+kernel-equivalence tests).  Several jobs submitted to one shared cluster
+(:class:`~repro.sim.scenarios.JobMix`) contend for the same links, caches,
+storage pipes and cores.
+
+:func:`run_elastic` runs a :class:`~repro.sim.cluster.ClusterMembership`
+schedule of join/leave/fail events with epoch-boundary re-sharding (every
+surviving node's sampler is re-derived via ``ShardedSampler.reshard``) and,
+for iteration-budgeted workloads, re-splits the remaining cluster-wide step
+budget across the surviving membership.  :func:`run_distributed` is a thin
+wrapper over it -- a static cluster is elastic with an empty event schedule
+-- so the DDP step loop, the barrier and the fabric wiring exist exactly
+once.
 
 Re-sharding is *locality-aware* when ``reshard="locality"``: shards use
 :class:`~repro.data.samplers.ShardedSampler`'s contiguous-block layout and a
@@ -65,23 +75,43 @@ from ..data.samplers import ShardAssignment, ShardedSampler
 from ..data.storage import CacheSnapshot
 from ..engine.metrics import average_utilization
 from ..errors import ConfigurationError
+from .cluster import (
+    DEFAULT_LINK_BANDWIDTH,
+    DEFAULT_LINK_LATENCY,
+    EVENT_KINDS,
+    FABRICS,
+    Cluster,
+    ClusterMembership,
+    MembershipEvent,
+    PartitionEvent,
+    resolve_gpus_per_node,
+    validate_budget_args,
+    validate_fabric,
+    validate_step_loop_args,
+)
 from .fabric import RingFabric
 from .kernel import AllOf, Environment, Interrupt
 from .loaders import SimContext
 from .runner import make_sim_loader
-from .topology import TOPOLOGIES, Hierarchical, Topology
+from .topology import Topology
 from .workloads import HardwareConfig, WorkloadSpec
 
 __all__ = [
     "AllReduceModel",
+    "Cluster",
     "ClusterMembership",
     "DistributedResult",
     "MembershipEvent",
+    "PartitionEvent",
     "run_distributed",
     "run_elastic",
 ]
 
-FABRICS = ("analytic", "ring")
+#: backwards-compatible aliases (the helpers moved to repro.sim.cluster so
+#: every job entry point -- run_elastic, run_distributed, JobMix -- shares
+#: one validation surface)
+_resolve_gpus_per_node = resolve_gpus_per_node
+_validate_step_loop_args = validate_step_loop_args
 
 
 @dataclass(frozen=True)
@@ -89,11 +119,11 @@ class AllReduceModel:
     """Per-step gradient synchronization cost across the whole cluster."""
 
     #: per-hop latency of one ring stage (network RTT-ish)
-    latency: float = 0.0015
+    latency: float = DEFAULT_LINK_LATENCY
     #: gradient bytes exchanged per step
     gradient_bytes: float = 400e6
     #: interconnect bandwidth per node (bytes/s)
-    bandwidth: float = 25e9  # 200 Gb/s
+    bandwidth: float = DEFAULT_LINK_BANDWIDTH  # 200 Gb/s
 
     def step_cost(
         self, world_size: int, nbytes: Optional[float] = None
@@ -169,7 +199,10 @@ class AllReduceModel:
     ) -> RingFabric:
         """A modelled fabric with this model's link parameters.
 
-        ``topology`` defaults to the flat world-wide ring."""
+        ``topology`` defaults to the flat world-wide ring.  Jobs running on
+        a :class:`~repro.sim.cluster.Cluster` use
+        :meth:`~repro.sim.cluster.Cluster.make_fabric` instead, which keys
+        the links by the cluster so concurrent jobs contend."""
         return RingFabric(
             env,
             latency=self.latency,
@@ -178,121 +211,6 @@ class AllReduceModel:
             detection_timeout=detection_timeout,
             topology=topology,
             collapse=collapse,
-        )
-
-
-# ---------------------------------------------------------------------------
-# Elastic membership schedule
-# ---------------------------------------------------------------------------
-
-EVENT_KINDS = ("join", "leave", "fail")
-
-
-@dataclass(frozen=True)
-class MembershipEvent:
-    """One membership change, anchored in virtual time or at an epoch.
-
-    * ``kind="join"``: the node becomes available and starts participating
-      (with a freshly derived shard) at the next epoch boundary;
-    * ``kind="leave"``: graceful departure -- the node finishes its current
-      epoch and is excluded from the re-shard at the anchor boundary;
-    * ``kind="fail"``: abrupt mid-epoch death ``after`` virtual seconds into
-      the anchored epoch (or at absolute ``time``): the node's GPU processes
-      are interrupted, its loader halted, and its in-flight ring chunks are
-      filled in by the failure detector so neighbors stall but never
-      deadlock.  Its unconsumed shard remainder is lost for that epoch and
-      re-covered by the next boundary's re-shard.
-    """
-
-    kind: str
-    node: int
-    #: anchor at this epoch (applied at its start boundary; fails fire
-    #: ``after`` seconds into it)
-    epoch: Optional[int] = None
-    #: anchor at this absolute virtual time
-    time: Optional[float] = None
-    #: fail only: virtual seconds into the anchored epoch
-    after: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.kind not in EVENT_KINDS:
-            raise ConfigurationError(
-                f"kind must be one of {EVENT_KINDS}, got {self.kind!r}"
-            )
-        if self.node < 0:
-            raise ConfigurationError(f"node must be >= 0, got {self.node!r}")
-        if (self.epoch is None) == (self.time is None):
-            raise ConfigurationError(
-                "exactly one of epoch / time must anchor a membership event"
-            )
-        if self.epoch is not None and self.epoch < 0:
-            raise ConfigurationError(f"epoch must be >= 0, got {self.epoch!r}")
-        if self.time is not None and self.time < 0:
-            raise ConfigurationError(f"time must be >= 0, got {self.time!r}")
-        if self.after < 0:
-            raise ConfigurationError(f"after must be >= 0, got {self.after!r}")
-        if self.after > 0 and self.kind != "fail":
-            raise ConfigurationError(
-                "after is only meaningful for fail events (join/leave apply "
-                "at epoch boundaries)"
-            )
-        if self.after > 0 and self.time is not None:
-            raise ConfigurationError(
-                "after offsets an epoch anchor; with an absolute time "
-                "anchor, fold the offset into time itself"
-            )
-
-
-class ClusterMembership:
-    """A cluster's initial size plus its schedule of membership events.
-
-    Nodes are integer ids; the initial cluster is ``0..initial_nodes-1`` and
-    join events introduce new ids.  The same node id may appear in at most
-    one join and at most one leave/fail (a node's lifetime is one interval;
-    re-joining hardware is a new node id).
-    """
-
-    def __init__(
-        self, initial_nodes: int, events: Sequence[MembershipEvent] = ()
-    ) -> None:
-        if initial_nodes < 1:
-            raise ConfigurationError(
-                f"initial_nodes must be >= 1, got {initial_nodes!r}"
-            )
-        self.initial_nodes = initial_nodes
-        self.events: Tuple[MembershipEvent, ...] = tuple(events)
-        initial = set(range(initial_nodes))
-        joined: Set[int] = set()
-        removed: Set[int] = set()
-        for event in self.events:
-            if event.kind == "join":
-                if event.node in initial or event.node in joined:
-                    raise ConfigurationError(
-                        f"node {event.node} joins twice (or is an initial node)"
-                    )
-                joined.add(event.node)
-            else:
-                if event.node not in initial | joined:
-                    raise ConfigurationError(
-                        f"{event.kind} targets unknown node {event.node}"
-                    )
-                if event.node in removed:
-                    raise ConfigurationError(
-                        f"node {event.node} leaves/fails twice"
-                    )
-                removed.add(event.node)
-
-    @property
-    def node_ids(self) -> List[int]:
-        """Every node id that is ever part of the cluster."""
-        ids = set(range(self.initial_nodes))
-        ids.update(e.node for e in self.events if e.kind == "join")
-        return sorted(ids)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"ClusterMembership(initial_nodes={self.initial_nodes}, "
-            f"events={list(self.events)!r})"
         )
 
 
@@ -418,7 +336,10 @@ class DistributedResult:
     #: per-epoch, per-node page-cache deltas (aligned with
     #: epoch_membership): hits/misses/evictions plus hit/miss bytes paid in
     #: that round; miss bytes after a membership change are the re-shard's
-    #: cache-warmup cost
+    #: cache-warmup cost.  On a shared (multi-tenant) cluster these deltas
+    #: are cache-wide -- the node's cache serves every tenant; the
+    #: ``cache_hit_bytes`` / ``cache_miss_bytes`` fields below are this
+    #: job's own traffic, exact in either case.
     epoch_cache_deltas: List[List[CacheSnapshot]] = field(default_factory=list)
     #: per-epoch, per-node *stale* cache bytes measured right after the
     #: round's re-shard (aligned with epoch_membership): bytes cached for
@@ -434,8 +355,27 @@ class DistributedResult:
     #: ``collapse=False``); purely observability, never affects timing
     collapsed_collectives: int = 0
     #: kernel events processed by the run's Environment (the benchmark
-    #: suite's denominator; collapse shrinks it, virtual time unchanged)
+    #: suite's denominator; collapse shrinks it, virtual time unchanged).
+    #: On a shared cluster this counts the whole cluster's kernel, not one
+    #: job's slice.
     sim_events: int = 0
+    #: this job's id within a multi-tenant mix ("job0" for solo runs)
+    job_id: str = "job0"
+    #: bytes this job's loaders served from the page cache / had to fetch
+    #: from the storage device (per-tenant exact, even on a shared cache)
+    cache_hit_bytes: float = 0.0
+    cache_miss_bytes: float = 0.0
+    #: seconds this job's cache-miss reads queued behind earlier traffic on
+    #: the storage pipe (and the NIC, when the cluster routes storage over
+    #: it) before their own transfer started -- storage contention
+    storage_wait_seconds: float = 0.0
+    #: seconds this job's collective sends queued behind earlier traffic on
+    #: their links before starting (ring fabric; cross-job link contention
+    #: on a shared cluster)
+    link_wait_seconds: float = 0.0
+    #: seconds of ring deliveries stalled by network partition windows
+    #: (the fabric stalls-and-heals instead of aborting)
+    partition_stall_seconds: float = 0.0
 
     @property
     def world_size(self) -> int:
@@ -473,6 +413,38 @@ class DistributedResult:
             for row in self.epoch_shard_overlap
         ]
 
+    @property
+    def link_contention_seconds(self) -> float:
+        """Everything this job spent queueing on shared transport: storage
+        pipe waits, collective link waits and partition stalls."""
+        return (
+            self.storage_wait_seconds
+            + self.link_wait_seconds
+            + self.partition_stall_seconds
+        )
+
+    def summary(self) -> str:
+        """One compact line -- the CLI's scenario output format, instead of
+        dumping raw per-epoch lists."""
+        gib = 1024.0 ** 3
+        touched = self.cache_hit_bytes + self.cache_miss_bytes
+        return (
+            f"{self.job_id}: {self.loader}/{self.workload} "
+            f"[{self.fabric}/{self.topology}"
+            f"{'/overlap' if self.overlap else ''}] "
+            f"{self.nodes}x{self.gpus_per_node} ranks | "
+            f"{self.steps} steps, {self.samples} samples, "
+            f"{self.training_time:.2f}s | "
+            f"sync {self.sync_seconds_total:.2f}s "
+            f"(exposed {self.exposed_sync_seconds:.2f}s) | "
+            f"gpu {self.gpu_utilization:.0%} cpu {self.cpu_utilization:.0%} | "
+            f"cache hit {self.cache_hit_bytes / gib:.2f}/"
+            f"{touched / gib:.2f} GiB | "
+            f"waits: storage {self.storage_wait_seconds:.2f}s "
+            f"links {self.link_wait_seconds:.2f}s "
+            f"partition {self.partition_stall_seconds:.2f}s"
+        )
+
 
 # ---------------------------------------------------------------------------
 # Static cluster: elastic with an empty event schedule
@@ -497,6 +469,7 @@ def run_distributed(
     buckets: int = 1,
     collapse: bool = True,
     queue: Optional[str] = None,
+    cluster: Optional[Cluster] = None,
 ) -> DistributedResult:
     """Simulate data-parallel training across ``nodes`` machines.
 
@@ -520,16 +493,36 @@ def run_distributed(
     (defaulting to the cluster-wide iteration budget split across ranks for
     iteration workloads) becomes a cluster-wide ``total_steps`` budget that
     the round executor consumes in shard-pass rounds.
+
+    Passing ``cluster`` submits this run as a job to an existing
+    :class:`~repro.sim.cluster.Cluster` (see :func:`run_elastic`); the
+    cluster then owns membership, kernel, topology and per-node resources,
+    and ``nodes`` must match its initial membership.
     """
-    if nodes < 1:
-        raise ConfigurationError(f"nodes must be >= 1, got {nodes!r}")
-    if node_hardware is not None and len(node_hardware) != nodes:
-        raise ConfigurationError(
-            f"node_hardware must list one config per node: "
-            f"got {len(node_hardware)} for {nodes} nodes"
+    if cluster is not None:
+        if nodes != cluster.membership.initial_nodes:
+            raise ConfigurationError(
+                f"nodes={nodes!r} conflicts with the cluster's "
+                f"{cluster.membership.initial_nodes} initial nodes"
+            )
+        if node_hardware is not None:
+            raise ConfigurationError(
+                "node_hardware is cluster-owned; pass it to Cluster(...)"
+            )
+        gpus_per_node = (
+            cluster.gpus_per_node if gpus_per_node is None else gpus_per_node
         )
-    gpus_per_node = _resolve_gpus_per_node(gpus_per_node, hardware)
-    _validate_step_loop_args(gpus_per_node, buckets, topology)
+        topology = cluster.topology_name
+    else:
+        if nodes < 1:
+            raise ConfigurationError(f"nodes must be >= 1, got {nodes!r}")
+        if node_hardware is not None and len(node_hardware) != nodes:
+            raise ConfigurationError(
+                f"node_hardware must list one config per node: "
+                f"got {len(node_hardware)} for {nodes} nodes"
+            )
+        gpus_per_node = resolve_gpus_per_node(gpus_per_node, hardware)
+    validate_step_loop_args(gpus_per_node, buckets, topology)
     world = nodes * gpus_per_node
     total_steps: Optional[int] = None
     if steps_per_gpu is not None:
@@ -541,7 +534,7 @@ def run_distributed(
         loader_name,
         workload,
         hardware,
-        ClusterMembership(nodes),
+        ClusterMembership(nodes) if cluster is None else None,
         gpus_per_node=gpus_per_node,
         allreduce=allreduce,
         loader_kwargs=loader_kwargs,
@@ -559,40 +552,8 @@ def run_distributed(
         buckets=buckets,
         collapse=collapse,
         queue=queue,
+        cluster=cluster,
     )
-
-
-def _resolve_gpus_per_node(
-    gpus_per_node: Optional[int], hardware: HardwareConfig
-) -> int:
-    """Explicit argument > ``hardware.gpus_per_node`` > 1."""
-    if gpus_per_node is None:
-        gpus_per_node = (
-            hardware.gpus_per_node if hardware.gpus_per_node is not None else 1
-        )
-    return gpus_per_node
-
-
-def _validate_step_loop_args(
-    gpus_per_node: int, buckets: int, topology: str
-) -> None:
-    """Reject malformed step-loop arguments at the entry point, with the
-    same explicit message style as the ``node_hardware`` length check --
-    a zero/negative count would otherwise surface as a divide-by-zero (or a
-    silently empty round) deep inside the round executor."""
-    if not isinstance(gpus_per_node, int) or gpus_per_node < 1:
-        raise ConfigurationError(
-            f"gpus_per_node must be a positive integer, got {gpus_per_node!r}"
-        )
-    if not isinstance(buckets, int) or buckets < 1:
-        raise ConfigurationError(
-            f"buckets must be a positive integer (gradient bucket count "
-            f"per step), got {buckets!r}"
-        )
-    if topology not in TOPOLOGIES:
-        raise ConfigurationError(
-            f"topology must be one of {TOPOLOGIES}, got {topology!r}"
-        )
 
 
 # ---------------------------------------------------------------------------
@@ -604,7 +565,7 @@ def run_elastic(
     loader_name: str,
     workload: WorkloadSpec,
     hardware: HardwareConfig,
-    membership: ClusterMembership,
+    membership: Optional[ClusterMembership] = None,
     gpus_per_node: Optional[int] = None,
     allreduce: Optional[AllReduceModel] = None,
     loader_kwargs: Optional[dict] = None,
@@ -620,11 +581,15 @@ def run_elastic(
     buckets: int = 1,
     collapse: bool = True,
     queue: Optional[str] = None,
+    cluster: Optional[Cluster] = None,
 ) -> DistributedResult:
     """Simulate elastic data-parallel training over a membership schedule.
 
-    This is *the* round executor: static runs (:func:`run_distributed`)
-    are the degenerate case of an empty event schedule.
+    This is *the* round executor's front door: static runs
+    (:func:`run_distributed`) are the degenerate case of an empty event
+    schedule, and multi-tenant mixes
+    (:class:`~repro.sim.scenarios.JobMix`) submit several of these jobs to
+    one shared :class:`~repro.sim.cluster.Cluster`.
 
     Execution is epoch-wise.  At each epoch boundary the pending join/leave
     events are applied, a :class:`~repro.data.samplers.ShardAssignment`
@@ -676,260 +641,462 @@ def run_elastic(
     instead of ``W`` simulated ring processes -- timing-identical by
     construction, orders of magnitude fewer kernel events.  The runner
     disables it for any round with an armed fail event (mid-step failure
-    needs per-rank fidelity) and, in overlap mode, for steps whose bucket
-    collective may outlast a backprop slice (concurrent collectives
-    contend on links, which only the exact path models); it deactivates
-    itself on heterogeneous links, ragged arrivals, or churn.
+    needs per-rank fidelity), whenever the cluster is shared by more than
+    one job or has partition windows (the collapsed path assumes idle
+    links) and, in overlap mode, for steps whose bucket collective may
+    outlast a backprop slice; it deactivates itself on heterogeneous
+    links, ragged arrivals, or churn.
 
     ``queue`` selects the kernel's event-queue implementation (see
     :data:`repro.sim.kernel.QUEUE_KINDS`); ``None`` uses the default
     indexed queue, ``"heap"`` the exact binary-heap baseline -- both
     produce identical results, the benchmark suite measures the gap.
+
+    ``cluster`` submits the run to an existing
+    :class:`~repro.sim.cluster.Cluster` instead of constructing a private
+    one.  The cluster owns the kernel, membership, link topology, per-node
+    caches/storage/cores and link parameters; ``queue`` / ``node_hardware``
+    / a conflicting ``membership`` are rejected, and the cluster's
+    ``topology`` / ``hardware`` / ``gpus_per_node`` / ``cache_fraction``
+    govern.  Without ``cluster`` a private one is built from these
+    arguments -- byte-identical to the pre-refactor behaviour.
     """
-    if fabric not in FABRICS:
-        raise ConfigurationError(
-            f"fabric must be one of {FABRICS}, got {fabric!r}"
-        )
-    gpus_per_node = _resolve_gpus_per_node(gpus_per_node, hardware)
-    _validate_step_loop_args(gpus_per_node, buckets, topology)
-    assignment = ShardAssignment(reshard)
-    allreduce = allreduce if allreduce is not None else AllReduceModel()
-    base_kwargs = dict(loader_kwargs or {})
-    for key in ("shard_rank", "shard_world_size", "total_batches_override"):
-        base_kwargs.pop(key, None)
-    seed = base_kwargs.get("seed", 0)
-    hw_map = dict(node_hardware or {})
-
-    def hw_for(node: int) -> HardwareConfig:
-        return hw_map.get(node, hardware)
-
-    n_samples = len(workload.dataset)
-    batch_size = workload.batch_size
-    if epochs is not None and workload.iterations is not None:
-        raise ConfigurationError(
-            "epochs override requires an epoch-based workload; rebuild the "
-            "workload with epochs instead of iterations (loader tail "
-            "semantics differ between the two budgets)"
-        )
-    if total_steps is not None and epochs is not None:
-        raise ConfigurationError(
-            "total_steps fixes a cluster-wide step budget; it cannot be "
-            "combined with an epochs override"
-        )
-    if total_steps is not None and total_steps < 1:
-        raise ConfigurationError(
-            f"total_steps must be >= 1, got {total_steps!r}"
-        )
-    epoch_mode = total_steps is None and (
-        workload.epochs is not None or epochs is not None
+    job = _ElasticJob(
+        loader_name,
+        workload,
+        hardware,
+        membership,
+        cluster=cluster,
+        gpus_per_node=gpus_per_node,
+        allreduce=allreduce,
+        loader_kwargs=loader_kwargs,
+        epochs=epochs,
+        node_hardware=node_hardware,
+        fabric=fabric,
+        detection_timeout=detection_timeout,
+        reshard=reshard,
+        total_steps=total_steps,
+        cache_fraction=cache_fraction,
+        topology=topology,
+        overlap=overlap,
+        buckets=buckets,
+        collapse=collapse,
+        queue=queue,
     )
-    total_epochs = epochs if epochs is not None else workload.epochs
-    if epoch_mode:
-        remaining_steps = None
-    else:
-        remaining_steps = (
-            total_steps if total_steps is not None else workload.iterations
-        )
+    return job.execute()
 
-    env = Environment(queue=queue)
-    ring: Optional[RingFabric] = None
-    if fabric == "ring":
-        topo = None
-        if topology == "hierarchical":
-            topo = Hierarchical(
-                env,
-                latency=allreduce.latency,
-                bandwidth=allreduce.bandwidth,
-                intra_latency=hardware.intra_node_latency,
-                intra_bandwidth=hardware.intra_node_bandwidth,
+
+class _RoundState:
+    """Mutable per-round scratch of one job (one epoch / budget span)."""
+
+    def __init__(self, index: int, generation: int) -> None:
+        self.index = index
+        self.generation = generation
+        self.nodes: List[int] = []
+        self.world_nodes = 0
+        self.world_ranks = 0
+        self.passes = 1
+        self.gpu_steps: List[int] = []
+        self.bucket_bytes = 0.0
+        self.bucket_cost = 0.0
+        self.loaders: Dict[int, object] = {}
+        self.procs: Dict[int, List] = {}
+        #: in-flight overlapped bucket collectives per node (killed with it)
+        self.bucket_children: Dict[int, List] = {}
+        self.coverage: Set[int] = set()
+        self.steps = 0
+        self.shards: Dict[int, frozenset] = {}
+        self.stale: List[float] = []
+        self.overlap_frac: List[float] = []
+        self.cache_before: Dict[int, CacheSnapshot] = {}
+        self.all_procs: List = []
+
+
+class _ElasticJob:
+    """One elastic data-parallel training job submitted to a cluster.
+
+    The pre-refactor ``run_elastic`` body, restructured: configuration and
+    resource wiring in ``__init__`` (cluster-facing), the round loop as the
+    :meth:`run` generator (so a cluster can interleave many jobs in one
+    kernel), per-round planning/spawning/recording as methods.  A job built
+    without an explicit cluster constructs a private one and
+    :meth:`execute` drives the kernel itself -- the single-tenant path,
+    byte-identical to the old inline loop (the job process adds exactly one
+    initialization event, which shifts every event id uniformly and leaves
+    all virtual timestamps and orderings unchanged; pinned by the
+    kernel-equivalence suite).
+    """
+
+    def __init__(
+        self,
+        loader_name: str,
+        workload: WorkloadSpec,
+        hardware: HardwareConfig,
+        membership: Optional[ClusterMembership] = None,
+        *,
+        cluster: Optional[Cluster] = None,
+        gpus_per_node: Optional[int] = None,
+        allreduce: Optional[AllReduceModel] = None,
+        loader_kwargs: Optional[dict] = None,
+        epochs: Optional[int] = None,
+        node_hardware: Optional[Dict[int, HardwareConfig]] = None,
+        fabric: str = "ring",
+        detection_timeout: float = 1.0,
+        reshard: str = "stride",
+        total_steps: Optional[int] = None,
+        cache_fraction: float = 0.8,
+        topology: str = "flat",
+        overlap: bool = False,
+        buckets: int = 1,
+        collapse: bool = True,
+        queue: Optional[str] = None,
+        job_id: str = "job0",
+        arrival: float = 0.0,
+        cache_namespace=None,
+    ) -> None:
+        validate_fabric(fabric)
+        if arrival < 0:
+            raise ConfigurationError(f"arrival must be >= 0, got {arrival!r}")
+        if cluster is None:
+            if membership is None:
+                raise ConfigurationError(
+                    "a job needs a ClusterMembership or an explicit cluster"
+                )
+            gpus_per_node = resolve_gpus_per_node(gpus_per_node, hardware)
+            allreduce = allreduce if allreduce is not None else AllReduceModel()
+            cluster = Cluster(
+                membership,
+                hardware,
+                node_hardware=node_hardware,
                 gpus_per_node=gpus_per_node,
-                intra_params={
-                    node: (hw.intra_node_latency, hw.intra_node_bandwidth)
-                    for node, hw in hw_map.items()
-                },
+                cache_fraction=cache_fraction,
+                topology=topology,
+                link_latency=allreduce.latency,
+                link_bandwidth=allreduce.bandwidth,
+                queue=queue,
             )
-        ring = allreduce.make_fabric(
-            env, detection_timeout=detection_timeout, topology=topo
+        else:
+            if queue is not None:
+                raise ConfigurationError(
+                    "queue selects the kernel, which the cluster owns; pass "
+                    "queue= to Cluster(...) instead"
+                )
+            if node_hardware is not None:
+                raise ConfigurationError(
+                    "node_hardware is cluster-owned; pass it to Cluster(...)"
+                )
+            if membership is not None and membership is not cluster.membership:
+                raise ConfigurationError(
+                    "membership is cluster-owned; submit the job without one "
+                    "(or pass cluster.membership)"
+                )
+            if (
+                gpus_per_node is not None
+                and gpus_per_node != cluster.gpus_per_node
+            ):
+                raise ConfigurationError(
+                    f"gpus_per_node={gpus_per_node!r} conflicts with the "
+                    f"cluster's {cluster.gpus_per_node}"
+                )
+            gpus_per_node = cluster.gpus_per_node
+            hardware = cluster.hardware
+            topology = cluster.topology_name
+            if allreduce is None:
+                allreduce = AllReduceModel(
+                    latency=cluster.link_latency,
+                    bandwidth=cluster.link_bandwidth,
+                )
+            elif fabric == "ring" and (
+                allreduce.latency != cluster.link_latency
+                or allreduce.bandwidth != cluster.link_bandwidth
+            ):
+                raise ConfigurationError(
+                    "link latency/bandwidth are cluster-owned; a job's "
+                    "AllReduceModel may only override gradient_bytes on a "
+                    "shared cluster"
+                )
+        membership = cluster.membership
+        validate_step_loop_args(gpus_per_node, buckets, topology)
+        validate_budget_args(workload, epochs, total_steps)
+        if membership.partitions and fabric != "ring":
+            raise ConfigurationError(
+                "network partitions stall ring deliveries; the analytic "
+                "barrier has no links to stall -- use fabric='ring'"
+            )
+        cluster.attach_job()
+
+        self.cluster = cluster
+        self.env = cluster.env
+        self.membership = membership
+        self.loader_name = loader_name
+        self.workload = workload
+        self.hardware = hardware
+        self.gpus_per_node = gpus_per_node
+        self.allreduce = allreduce
+        self.fabric_name = fabric
+        self.detection_timeout = detection_timeout
+        self.reshard = reshard
+        self.topology = topology
+        self.overlap = overlap
+        self.buckets = buckets
+        self.job_id = job_id
+        self.arrival = arrival
+        self.cache_namespace = cache_namespace
+        #: partitions need per-rank fidelity for the rounds they stall, and
+        #: their windows are time-anchored (any round may be hit)
+        self.collapse_requested = collapse and not membership.partitions
+
+        self.assignment = ShardAssignment(reshard)
+        base_kwargs = dict(loader_kwargs or {})
+        for key in ("shard_rank", "shard_world_size", "total_batches_override"):
+            base_kwargs.pop(key, None)
+        self.seed = base_kwargs.get("seed", 0)
+        self.n_samples = len(workload.dataset)
+        self.batch_size = workload.batch_size
+        self.epoch_mode = total_steps is None and (
+            workload.epochs is not None or epochs is not None
         )
-
-    # one template loader: every per-(node, epoch) clone shares its
-    # per-sample cost memos
-    template = make_sim_loader(loader_name, **base_kwargs)
-
-    active: List[int] = list(range(membership.initial_nodes))
-    samplers: Dict[int, ShardedSampler] = {}
-    contexts: Dict[int, SimContext] = {}
-    activated_at: Dict[int, float] = {}
-    deactivated_at: Dict[int, float] = {}
-    consumed: Set[int] = set()
-
-    counters = {
-        "steps": 0,
-        "samples": 0,
-        "sync": 0.0,
-        "exposed": 0.0,
-        "grad_bytes": 0.0,
-    }
-    epoch_membership: List[List[int]] = []
-    epoch_shard_sizes: List[List[int]] = []
-    epoch_coverage: List[int] = []
-    epoch_shard_overlap: List[List[float]] = []
-    epoch_cache_deltas: List[List[CacheSnapshot]] = []
-    epoch_stale_bytes: List[List[float]] = []
-    #: each node's shard index set from the round before (locality input
-    #: and overlap-reporting baseline)
-    prev_shards: Dict[int, frozenset] = {}
-
-    # analytic fabric: a removal-aware barrier (a failed or early-exiting
-    # rank must release the survivors, not deadlock them)
-    barrier = _MemberBarrier(env)
-
-    round_index = 0
-    # monotonically increasing generation: stale fail-killers from earlier
-    # rounds must not fire into a later round's processes
-    round_gen = {"value": 0}
-
-    while True:
-        if epoch_mode and round_index >= total_epochs:
-            break
-        if not epoch_mode and remaining_steps <= 0:
-            break
-        boundary_now = env.now
-
-        # -- apply boundary events (join / leave / stale fails) -----------
-        for idx, event in enumerate(membership.events):
-            if idx in consumed or event.kind == "fail":
-                continue
-            due = (event.epoch is not None and event.epoch <= round_index) or (
-                event.time is not None and event.time <= boundary_now
+        self.total_epochs = epochs if epochs is not None else workload.epochs
+        if self.epoch_mode:
+            self.remaining_steps = None
+        else:
+            self.remaining_steps = (
+                total_steps if total_steps is not None else workload.iterations
             )
+
+        self.ring: Optional[RingFabric] = None
+        if fabric == "ring":
+            self.ring = cluster.make_fabric(
+                allreduce.gradient_bytes, detection_timeout=detection_timeout
+            )
+
+        # one template loader: every per-(node, epoch) clone shares its
+        # per-sample cost memos
+        self.template = make_sim_loader(loader_name, **base_kwargs)
+
+        self.active: List[int] = list(range(membership.initial_nodes))
+        self.samplers: Dict[int, ShardedSampler] = {}
+        self.contexts: Dict[int, SimContext] = {}
+        self.activated_at: Dict[int, float] = {}
+        self.deactivated_at: Dict[int, float] = {}
+        self.consumed: Set[int] = set()
+        self.counters = {
+            "steps": 0,
+            "samples": 0,
+            "sync": 0.0,
+            "exposed": 0.0,
+            "grad_bytes": 0.0,
+        }
+        self.epoch_membership: List[List[int]] = []
+        self.epoch_shard_sizes: List[List[int]] = []
+        self.epoch_coverage: List[int] = []
+        self.epoch_shard_overlap: List[List[float]] = []
+        self.epoch_cache_deltas: List[List[CacheSnapshot]] = []
+        self.epoch_stale_bytes: List[List[float]] = []
+        #: each node's shard index set from the round before (locality
+        #: input and overlap-reporting baseline)
+        self.prev_shards: Dict[int, frozenset] = {}
+
+        # analytic fabric: a removal-aware barrier (a failed or
+        # early-exiting rank must release the survivors, not deadlock them)
+        self.barrier = _MemberBarrier(self.env)
+
+        self.round_index = 0
+        # monotonically increasing generation: stale fail-killers from
+        # earlier rounds must not fire into a later round's processes
+        self.round_gen = {"value": 0}
+        self._round: Optional[_RoundState] = None
+        self.started_at = 0.0
+        self.finished_at: Optional[float] = None
+
+    # -- driving -----------------------------------------------------------
+
+    def execute(self) -> DistributedResult:
+        """Single-tenant path: drive the private cluster's kernel to this
+        job's completion and return its result."""
+        proc = self.env.process(self.run())
+        self.env.run(until=proc)
+        return self.result()
+
+    def run(self):
+        """The job as a kernel process (a generator): round loop with a
+        completion barrier per round.  A shared cluster runs many of these
+        concurrently in one kernel."""
+        if self.arrival > 0:
+            yield self.env.timeout(self.arrival)
+        self.started_at = self.env.now
+        while True:
+            if self.epoch_mode and self.round_index >= self.total_epochs:
+                break
+            if not self.epoch_mode and self.remaining_steps <= 0:
+                break
+            rnd = self._begin_round()
+            yield AllOf(self.env, rnd.all_procs)
+            self._record_round(rnd)
+        self.finished_at = self.env.now
+
+    # -- round boundary ----------------------------------------------------
+
+    def _apply_boundary_events(self, boundary_now: float) -> None:
+        """Apply due join/leave events and degrade stale fails to removal
+        (a node must not outlive its scheduled death)."""
+        membership = self.membership
+        for idx, event in enumerate(membership.events):
+            if idx in self.consumed or event.kind == "fail":
+                continue
+            due = (
+                event.epoch is not None and event.epoch <= self.round_index
+            ) or (event.time is not None and event.time <= boundary_now)
             if not due:
                 continue
-            consumed.add(idx)
+            self.consumed.add(idx)
             if event.kind == "join":
-                if event.node in active:
+                if event.node in self.active:
                     raise ConfigurationError(
                         f"node {event.node} is already active"
                     )
-                active.append(event.node)
+                self.active.append(event.node)
             else:  # leave
-                if event.node in active:
-                    active.remove(event.node)
-                    deactivated_at[event.node] = boundary_now
+                if event.node in self.active:
+                    self.active.remove(event.node)
+                    self.deactivated_at[event.node] = boundary_now
         # a fail whose anchor passed between rounds (a time instant that
         # fell outside any round, or an `after` longer than its epoch)
         # degrades to removal at this boundary instead of silently never
-        # firing -- the node must not outlive its scheduled death
+        # firing
         for idx, event in enumerate(membership.events):
-            if idx in consumed or event.kind != "fail":
+            if idx in self.consumed or event.kind != "fail":
                 continue
-            stale = (event.time is not None and event.time <= boundary_now) or (
-                event.epoch is not None and event.epoch < round_index
-            )
+            stale = (
+                event.time is not None and event.time <= boundary_now
+            ) or (event.epoch is not None and event.epoch < self.round_index)
             if stale:
-                consumed.add(idx)
-                if event.node in active:
-                    active.remove(event.node)
-                    deactivated_at[event.node] = boundary_now
+                self.consumed.add(idx)
+                if event.node in self.active:
+                    self.active.remove(event.node)
+                    self.deactivated_at[event.node] = boundary_now
 
-        if not active:
+    def _begin_round(self) -> _RoundState:
+        """Apply boundary events, re-shard, plan budgets, spawn this
+        round's loaders/processes/fail controllers."""
+        boundary_now = self.env.now
+        self._apply_boundary_events(boundary_now)
+        if not self.active:
             raise ConfigurationError(
                 "membership schedule empties the cluster before the "
                 "workload's budget is exhausted"
             )
-        round_nodes = sorted(active)
-        world_nodes = len(round_nodes)
-        world_ranks = world_nodes * gpus_per_node
+        self.round_gen["value"] += 1
+        rnd = _RoundState(self.round_index, self.round_gen["value"])
+        self._round = rnd
+        rnd.nodes = sorted(self.active)
+        rnd.world_nodes = len(rnd.nodes)
+        rnd.world_ranks = rnd.world_nodes * self.gpus_per_node
 
-        # -- epoch-boundary re-sharding -----------------------------------
+        self._reshard_round(rnd, boundary_now)
+        self._plan_budgets(rnd)
+        self._spawn_round(rnd)
+        return rnd
+
+    def _reshard_round(self, rnd: _RoundState, boundary_now: float) -> None:
+        """Epoch-boundary re-sharding: slot assignment, sampler re-derive,
+        context creation for first-seen nodes, staleness/overlap probes."""
         # stride: slot = sorted(active) position; locality: the stable
         # assignment keeping each survivor on the new block that overlaps
         # its previous shard most
-        slot_map = assignment.assign(round_nodes, prev_shards, n_samples, seed=seed)
-        for node in round_nodes:
-            if node in samplers:
-                samplers[node] = samplers[node].reshard(
-                    world_nodes, slot_map[node], epoch_offset=round_index
+        slot_map = self.assignment.assign(
+            rnd.nodes, self.prev_shards, self.n_samples, seed=self.seed
+        )
+        for node in rnd.nodes:
+            if node in self.samplers:
+                self.samplers[node] = self.samplers[node].reshard(
+                    rnd.world_nodes, slot_map[node], epoch_offset=rnd.index
                 )
             else:
-                samplers[node] = ShardedSampler(
-                    n_samples,
+                self.samplers[node] = ShardedSampler(
+                    self.n_samples,
                     rank=slot_map[node],
-                    world_size=world_nodes,
-                    seed=seed,
-                    epoch_offset=round_index,
-                    layout=assignment.layout,
+                    world_size=rnd.world_nodes,
+                    seed=self.seed,
+                    epoch_offset=rnd.index,
+                    layout=self.assignment.layout,
                 )
-                node_hw = hw_for(node)
-                contexts[node] = SimContext(
-                    env,
-                    workload,
+                node_hw = self.cluster.hw_for(node)
+                self.contexts[node] = SimContext(
+                    self.env,
+                    self.workload,
                     node_hw,
-                    gpus_per_node,
-                    # a node's own config overrides the run-wide fraction
-                    # (per-node cache-size heterogeneity)
-                    cache_fraction=(
-                        node_hw.cache_fraction
-                        if node_hw.cache_fraction is not None
-                        else cache_fraction
-                    ),
-                    # nothing here consumes per-transfer disk logs; the
-                    # aggregate totals stay maintained regardless
+                    self.gpus_per_node,
+                    # storage pipe / page cache / CPU cores come from the
+                    # cluster's NodeSite (sized there, per-node
+                    # cache_fraction overrides included); GPUs stay
+                    # per-job -- tenants get disjoint GPU allocations
                     record_transfers=False,
+                    site=self.cluster.site(node),
+                    nic=self.cluster.loader_nic(node),
+                    cache_namespace=self.cache_namespace,
                 )
-                activated_at[node] = boundary_now
-        round_shards = {
-            node: samplers[node].shard_indices() for node in round_nodes
+                self.activated_at[node] = boundary_now
+        rnd.shards = {
+            node: self.samplers[node].shard_indices() for node in rnd.nodes
         }
         # invalidation pressure: bytes each survivor still caches for
         # samples its new shard no longer owns (measured at the re-shard,
-        # before the round warms anything up)
-        round_stale = [
-            contexts[node].cache.stale_bytes(round_shards[node])
-            for node in round_nodes
+        # before the round warms anything up; scoped to this job's
+        # namespace on shared caches)
+        rnd.stale = [
+            self.contexts[node].cache.stale_bytes(
+                rnd.shards[node], namespace=self.cache_namespace
+            )
+            for node in rnd.nodes
         ]
-        round_overlap = [
+        rnd.overlap_frac = [
             (
-                len(round_shards[node] & prev_shards[node])
-                / max(len(round_shards[node]), 1)
-                if node in prev_shards
+                len(rnd.shards[node] & self.prev_shards[node])
+                / max(len(rnd.shards[node]), 1)
+                if node in self.prev_shards
                 else 0.0
             )
-            for node in round_nodes
+            for node in rnd.nodes
         ]
 
-        shard_len = len(samplers[round_nodes[0]])
-        if epoch_mode:
-            pass_batches = (shard_len + batch_size - 1) // batch_size
+    def _plan_budgets(self, rnd: _RoundState) -> None:
+        """Per-GPU step budgets for this round (one shard pass in epoch
+        mode; budget mode spans passes up to the next membership anchor)."""
+        shard_len = len(self.samplers[rnd.nodes[0]])
+        gpus_per_node = self.gpus_per_node
+        if self.epoch_mode:
+            pass_batches = (shard_len + self.batch_size - 1) // self.batch_size
         else:
-            pass_batches = shard_len // batch_size
+            pass_batches = shard_len // self.batch_size
         if pass_batches == 0:
             raise ConfigurationError(
                 f"shard of {shard_len} samples yields no batch "
-                f"(batch_size={batch_size}); shrink the cluster or the batch"
+                f"(batch_size={self.batch_size}); shrink the cluster or the "
+                f"batch"
             )
-        round_passes = 1  # epoch mode: one shard pass per round
-        if epoch_mode and not template.per_gpu_sharding:
+        rnd.passes = 1  # epoch mode: one shard pass per round
+        if self.epoch_mode and not self.template.per_gpu_sharding:
             # exactly one pass over the shard: batches deal round-robin
             # across the node's GPUs (matching the loaders' own dealing),
             # so per-GPU step counts may differ by one -- short ranks leave
             # the sync gracefully when their budget is done
-            gpu_steps = [
+            rnd.gpu_steps = [
                 pass_batches // gpus_per_node
                 + (1 if g < pass_batches % gpus_per_node else 0)
                 for g in range(gpus_per_node)
             ]
-            node_budget = pass_batches
-            samples_budget = shard_len
-        elif epoch_mode:
+            rnd.node_budget = pass_batches
+            rnd.samples_budget = shard_len
+        elif self.epoch_mode:
             # per-GPU-sharding, full-batch loaders (DALI) need an equal
             # rounded-up budget per GPU stream: every per-GPU shard is
             # fully consumed, at the cost of up to one wrap-around batch
             # of next-shuffle spill per GPU
             per_gpu_steps = (pass_batches + gpus_per_node - 1) // gpus_per_node
-            gpu_steps = [per_gpu_steps] * gpus_per_node
-            node_budget = per_gpu_steps * gpus_per_node
-            samples_budget = None
+            rnd.gpu_steps = [per_gpu_steps] * gpus_per_node
+            rnd.node_budget = per_gpu_steps * gpus_per_node
+            rnd.samples_budget = None
         else:
             # budget mode: span this round over as many shard passes as the
             # budget allows, up to the next scheduled membership change --
@@ -938,377 +1105,433 @@ def run_elastic(
             # Events stay anchored in pass units: a pending anchor breaks
             # the span so its boundary (and, for fails, the re-shard right
             # after) still lands exactly where the schedule says.
-            per_pass_per_gpu = (pass_batches + gpus_per_node - 1) // gpus_per_node
+            per_pass_per_gpu = (
+                pass_batches + gpus_per_node - 1
+            ) // gpus_per_node
             next_change: Optional[int] = None
-            for pending_index, pending in enumerate(membership.events):
-                if pending_index in consumed:
+            for pending_index, pending in enumerate(self.membership.events):
+                if pending_index in self.consumed:
                     continue
                 if pending.time is not None:
                     # unknown pass alignment: stay pass-by-pass until fired
-                    anchors = [round_index + 1]
+                    anchors = [rnd.index + 1]
                 elif pending.kind == "fail":
                     anchors = [pending.epoch, pending.epoch + 1]
                 else:
                     anchors = [pending.epoch]
                 for anchor in anchors:
-                    if anchor > round_index and (
+                    if anchor > rnd.index and (
                         next_change is None or anchor < next_change
                     ):
                         next_change = anchor
-            cap_per_gpu = ceil(remaining_steps / world_ranks)
+            cap_per_gpu = ceil(self.remaining_steps / rnd.world_ranks)
             if next_change is not None:
                 per_gpu_steps = min(
-                    (next_change - round_index) * per_pass_per_gpu, cap_per_gpu
+                    (next_change - rnd.index) * per_pass_per_gpu, cap_per_gpu
                 )
             else:
                 per_gpu_steps = cap_per_gpu
-            round_passes = max(
+            rnd.passes = max(
                 1, (per_gpu_steps + per_pass_per_gpu - 1) // per_pass_per_gpu
             )
-            gpu_steps = [per_gpu_steps] * gpus_per_node
-            node_budget = per_gpu_steps * gpus_per_node
-            samples_budget = None
+            rnd.gpu_steps = [per_gpu_steps] * gpus_per_node
+            rnd.node_budget = per_gpu_steps * gpus_per_node
+            rnd.samples_budget = None
 
-        # -- loader rebind + spawn ----------------------------------------
+    def _spawn_round(self, rnd: _RoundState) -> None:
+        """Fabric/barrier round setup, loader rebind, process spawn, fail
+        controllers, cache snapshots."""
         round_ranks = [
-            (node, gpu) for node in round_nodes for gpu in range(gpus_per_node)
+            (node, gpu)
+            for node in rnd.nodes
+            for gpu in range(self.gpus_per_node)
         ]
-        if ring is not None:
-            ring.set_ring(round_ranks)
+        membership = self.membership
+        if self.ring is not None:
+            self.ring.set_ring(round_ranks)
             # homogeneous-rank collapse only in rounds that cannot see a
             # mid-step failure: mirror the fail-controller scheduling
             # condition below, so any fail that could fire this round
-            # forces full per-rank fidelity
+            # forces full per-rank fidelity.  A shared cluster forces it
+            # off entirely -- the quiescence probe cannot see another
+            # job's not-yet-issued link traffic.
             fail_armed = any(
-                idx not in consumed
+                idx not in self.consumed
                 and event.kind == "fail"
-                and event.node in round_nodes
+                and event.node in rnd.nodes
                 and (
-                    (event.epoch is not None and event.epoch == round_index)
+                    (event.epoch is not None and event.epoch == rnd.index)
                     or event.time is not None
                 )
                 for idx, event in enumerate(membership.events)
             )
-            ring.collapse = collapse and not fail_armed
-        barrier.set_members(round_ranks)
+            self.ring.collapse = (
+                self.collapse_requested
+                and not fail_armed
+                and not self.cluster.shared
+            )
+        self.barrier.set_members(round_ranks)
         # one collective per gradient bucket: each moves bucket_bytes and,
         # on the analytic fabric, costs the closed form for that slice
         # (hierarchical when the topology says so)
-        bucket_bytes = allreduce.gradient_bytes / buckets
-        if topology == "hierarchical":
-            bucket_cost = allreduce.hierarchical_step_cost(
-                world_nodes,
-                gpus_per_node,
-                hardware.intra_node_latency,
-                hardware.intra_node_bandwidth,
-                nbytes=bucket_bytes,
+        rnd.bucket_bytes = self.allreduce.gradient_bytes / self.buckets
+        if self.topology == "hierarchical":
+            rnd.bucket_cost = self.allreduce.hierarchical_step_cost(
+                rnd.world_nodes,
+                self.gpus_per_node,
+                self.hardware.intra_node_latency,
+                self.hardware.intra_node_bandwidth,
+                nbytes=rnd.bucket_bytes,
             )
         else:
-            bucket_cost = allreduce.step_cost(world_ranks, nbytes=bucket_bytes)
-        loaders: Dict[int, object] = {}
-        round_procs: Dict[int, List] = {}
-        #: in-flight overlapped bucket collectives per node (killed with it)
-        bucket_children: Dict[int, List] = {}
-        coverage: Set[int] = set()
-        round_steps = {"count": 0}
-        round_gen["value"] += 1
-        generation = round_gen["value"]
-        this_round = round_index
-
-        def leave_sync(member) -> None:
-            """Graceful exit from this round's sync (budget done early or
-            loader under-delivered): survivors stop waiting for us."""
-            if ring is not None:
-                ring.leave(member)
-            else:
-                barrier.remove(member)
-
-        def sync_bucket(member, key, serial: bool, collapse_ok: bool = True):
-            """One bucket's collective as ``member`` (a generator).
-
-            Ring fabric: the measured duration (neighbor waits included)
-            accrues to the sync counter.  Analytic fabric: serial mode
-            charges exactly the closed-form cost (the barrier wait is
-            straggler coupling, not sync -- preserving the pre-refactor
-            accounting the tests pin); overlapped mode measures wall
-            duration like the ring, since the launch-to-done window is
-            what overlap hides.
-            """
-            entered = env.now
-            if ring is not None:
-                yield from ring.allreduce(
-                    key, member, nbytes=bucket_bytes, collapse_ok=collapse_ok
-                )
-                counters["sync"] += env.now - entered
-            else:
-                yield barrier.arrive(key, member)
-                if bucket_cost > 0:
-                    yield env.timeout(bucket_cost)
-                counters["sync"] += (
-                    bucket_cost if serial else env.now - entered
-                )
-            counters["grad_bytes"] += bucket_bytes
-
-        def overlapped_bucket(member, key, collapse_ok):
-            """Bucket collective launched during backprop (a process): an
-            interrupt (node failure) abandons it quietly -- the fabric's
-            abort fills in its undelivered chunks for the survivors."""
-            try:
-                yield from sync_bucket(
-                    member, key, serial=False, collapse_ok=collapse_ok
-                )
-            except Interrupt:
-                return
-
-        def gpu_proc(node: int, gpu: int, loader, steps: int):
-            ctx = contexts[node]
-            member = (node, gpu)
-            hw = hw_for(node)
-            try:
-                for step_index in range(steps):
-                    batch = yield from loader.get_batch(gpu)
-                    if batch is None:
-                        leave_sync(member)
-                        return
-                    for spec in batch.specs:
-                        coverage.add(spec.index)
-                    step = workload.model.step_time(
-                        batch.size, hw.gpu_type, world_size=1
-                    )
-                    if overlap and world_ranks > 1:
-                        # bucketed backprop: bucket k's gradients are ready
-                        # after the (k+1)-th slice of the step's compute
-                        # (reverse layer order), and its collective runs
-                        # concurrently with the remaining slices.  Collapse
-                        # is only safe when bucket k's collective finishes
-                        # before bucket k+1 launches (the collapsed path
-                        # assumes idle links): gate it on the closed-form
-                        # cost fitting in one backprop slice, with margin
-                        # for the closed form's float rounding
-                        collapse_ok = (
-                            bucket_cost * (1.0 + 1e-9) + 1e-12
-                            <= step / buckets
-                        )
-                        children = []
-                        for k in range(buckets):
-                            yield from ctx.train_step(gpu, step / buckets)
-                            child = env.process(
-                                overlapped_bucket(
-                                    member,
-                                    (this_round, step_index, k),
-                                    collapse_ok,
-                                )
-                            )
-                            children.append(child)
-                            bucket_children.setdefault(node, []).append(child)
-                        counters["steps"] += 1
-                        counters["samples"] += batch.size
-                        round_steps["count"] += 1
-                        compute_end = env.now
-                        yield AllOf(env, children)
-                        # only the wait past the end of backprop extends
-                        # the step: the exposed (non-overlapped) sync
-                        counters["exposed"] += env.now - compute_end
-                        # this step's children are done: drop them so the
-                        # kill list stays bounded by in-flight buckets,
-                        # not by the round's total step count
-                        node_children = bucket_children[node]
-                        for child in children:
-                            node_children.remove(child)
-                    else:
-                        yield from ctx.train_step(gpu, step)
-                        counters["steps"] += 1
-                        counters["samples"] += batch.size
-                        round_steps["count"] += 1
-                        if world_ranks > 1:
-                            exposed_start = env.now
-                            for k in range(buckets):
-                                yield from sync_bucket(
-                                    member,
-                                    (this_round, step_index, k),
-                                    serial=True,
-                                )
-                            if ring is not None:
-                                counters["exposed"] += env.now - exposed_start
-                            else:
-                                counters["exposed"] += buckets * bucket_cost
-                # ranks with a one-shorter budget must not stall the rest
-                leave_sync(member)
-            except Interrupt:
-                return
-
-        def kill_node(node: int) -> None:
-            """Abrupt mid-epoch failure: interrupt, halt, abort."""
-            if node not in active:
-                return
-            active.remove(node)
-            deactivated_at[node] = env.now
-            loader = loaders.get(node)
-            if loader is not None:
-                loader.halt()
-            for proc in round_procs.get(node, []):
-                if proc.is_alive:
-                    proc.interrupt("node-failure")
-            # overlapped bucket collectives launched by the dead node's
-            # ranks must die with them (a ghost sender would keep feeding
-            # the ring after its node is gone)
-            for child in bucket_children.get(node, []):
-                if child.is_alive:
-                    child.interrupt("node-failure")
-            for gpu in range(gpus_per_node):
-                if ring is not None:
-                    ring.abort((node, gpu))
-                else:
-                    barrier.remove((node, gpu))
-
-        def fail_controller(
-            event_index: int,
-            event: MembershipEvent,
-            delay: float,
-            generation: int,
-        ):
-            # generation is bound per call: a controller left pending from
-            # an earlier round (its `after` outlived the epoch) must not
-            # fire into a later round -- the boundary handler degrades it
-            if delay > 0:
-                yield env.timeout(delay)
-            if round_gen["value"] != generation:
-                return  # stale: the boundary handler will apply it
-            if event_index in consumed:
-                return
-            consumed.add(event_index)
-            kill_node(event.node)
-
-        for position, node in enumerate(round_nodes):
-            loader = template.rebind_shard(
-                samplers[node],
-                node_budget,
-                total_samples_override=samples_budget,
+            rnd.bucket_cost = self.allreduce.step_cost(
+                rnd.world_ranks, nbytes=rnd.bucket_bytes
             )
-            loader.start(contexts[node])
-            loaders[node] = loader
-            round_procs[node] = [
-                env.process(gpu_proc(node, gpu, loader, gpu_steps[gpu]))
-                for gpu in range(gpus_per_node)
+        for node in rnd.nodes:
+            loader = self.template.rebind_shard(
+                self.samplers[node],
+                rnd.node_budget,
+                total_samples_override=rnd.samples_budget,
+            )
+            loader.start(self.contexts[node])
+            rnd.loaders[node] = loader
+            rnd.procs[node] = [
+                self.env.process(
+                    self._gpu_proc(node, gpu, loader, rnd.gpu_steps[gpu])
+                )
+                for gpu in range(self.gpus_per_node)
             ]
-
         # -- schedule this round's fail events ----------------------------
         for idx, event in enumerate(membership.events):
-            if idx in consumed or event.kind != "fail":
+            if idx in self.consumed or event.kind != "fail":
                 continue
-            if event.node not in round_nodes:
+            if event.node not in rnd.nodes:
                 continue
-            if event.epoch is not None and event.epoch == round_index:
-                env.process(
-                    fail_controller(idx, event, event.after, generation)
-                )
-            elif event.time is not None:
-                env.process(
-                    fail_controller(
-                        idx,
-                        event,
-                        max(0.0, event.time - env.now),
-                        generation,
+            if event.epoch is not None and event.epoch == rnd.index:
+                self.env.process(
+                    self._fail_controller(
+                        idx, event, event.after, rnd.generation
                     )
                 )
-
-        cache_before = {
-            node: contexts[node].cache.snapshot() for node in round_nodes
+            elif event.time is not None:
+                self.env.process(
+                    self._fail_controller(
+                        idx,
+                        event,
+                        max(0.0, event.time - self.env.now),
+                        rnd.generation,
+                    )
+                )
+        rnd.cache_before = {
+            node: self.contexts[node].cache.snapshot() for node in rnd.nodes
         }
-        all_procs = [proc for procs in round_procs.values() for proc in procs]
-        env.run(until=AllOf(env, all_procs))
+        rnd.all_procs = [
+            proc for procs in rnd.procs.values() for proc in procs
+        ]
 
-        epoch_membership.append(round_nodes)
-        epoch_shard_sizes.append([len(samplers[node]) for node in round_nodes])
-        epoch_coverage.append(len(coverage))
-        epoch_shard_overlap.append(round_overlap)
-        epoch_stale_bytes.append(round_stale)
-        epoch_cache_deltas.append(
+    def _record_round(self, rnd: _RoundState) -> None:
+        self.epoch_membership.append(rnd.nodes)
+        self.epoch_shard_sizes.append(
+            [len(self.samplers[node]) for node in rnd.nodes]
+        )
+        self.epoch_coverage.append(len(rnd.coverage))
+        self.epoch_shard_overlap.append(rnd.overlap_frac)
+        self.epoch_stale_bytes.append(rnd.stale)
+        self.epoch_cache_deltas.append(
             [
-                contexts[node].cache.snapshot().delta(cache_before[node])
-                for node in round_nodes
+                self.contexts[node].cache.snapshot().delta(
+                    rnd.cache_before[node]
+                )
+                for node in rnd.nodes
             ]
         )
-        prev_shards.update(round_shards)
-        if not epoch_mode:
-            if round_steps["count"] == 0:
+        self.prev_shards.update(rnd.shards)
+        if not self.epoch_mode:
+            if rnd.steps == 0:
                 raise ConfigurationError(
                     "elastic round made no progress; the membership "
                     "schedule starves the iteration budget"
                 )
-            remaining_steps -= round_steps["count"]
-        round_index += round_passes
+            self.remaining_steps -= rnd.steps
+        self.round_index += rnd.passes
 
-    duration = env.now
-    seen_nodes = sorted(contexts)
-    windows = {
-        node: (activated_at[node], deactivated_at.get(node, duration))
-        for node in seen_nodes
-    }
-    per_node_cpu = []
-    per_node_gpu: List[float] = []
-    for node in seen_nodes:
-        start, end = windows[node]
-        span = max(end - start, 1e-12)
-        ctx = contexts[node]
-        per_node_cpu.append(
-            average_utilization(
-                ctx.cpu_recorder.intervals,
-                start,
-                end,
-                capacity=hw_for(node).cpu_cores,
+    # -- per-rank processes ------------------------------------------------
+
+    def _leave_sync(self, member) -> None:
+        """Graceful exit from this round's sync (budget done early or
+        loader under-delivered): survivors stop waiting for us."""
+        if self.ring is not None:
+            self.ring.leave(member)
+        else:
+            self.barrier.remove(member)
+
+    def _sync_bucket(self, member, key, serial: bool, collapse_ok: bool = True):
+        """One bucket's collective as ``member`` (a generator).
+
+        Ring fabric: the measured duration (neighbor waits included)
+        accrues to the sync counter.  Analytic fabric: serial mode
+        charges exactly the closed-form cost (the barrier wait is
+        straggler coupling, not sync -- preserving the pre-refactor
+        accounting the tests pin); overlapped mode measures wall
+        duration like the ring, since the launch-to-done window is
+        what overlap hides.
+        """
+        rnd = self._round
+        entered = self.env.now
+        if self.ring is not None:
+            yield from self.ring.allreduce(
+                key, member, nbytes=rnd.bucket_bytes, collapse_ok=collapse_ok
             )
-            if span > 0
-            else 0.0
+            self.counters["sync"] += self.env.now - entered
+        else:
+            yield self.barrier.arrive(key, member)
+            if rnd.bucket_cost > 0:
+                yield self.env.timeout(rnd.bucket_cost)
+            self.counters["sync"] += (
+                rnd.bucket_cost if serial else self.env.now - entered
+            )
+        self.counters["grad_bytes"] += rnd.bucket_bytes
+
+    def _overlapped_bucket(self, member, key, collapse_ok):
+        """Bucket collective launched during backprop (a process): an
+        interrupt (node failure) abandons it quietly -- the fabric's
+        abort fills in its undelivered chunks for the survivors."""
+        try:
+            yield from self._sync_bucket(
+                member, key, serial=False, collapse_ok=collapse_ok
+            )
+        except Interrupt:
+            return
+
+    def _gpu_proc(self, node: int, gpu: int, loader, steps: int):
+        rnd = self._round
+        ctx = self.contexts[node]
+        member = (node, gpu)
+        hw = self.cluster.hw_for(node)
+        try:
+            for step_index in range(steps):
+                batch = yield from loader.get_batch(gpu)
+                if batch is None:
+                    self._leave_sync(member)
+                    return
+                for spec in batch.specs:
+                    rnd.coverage.add(spec.index)
+                step = self.workload.model.step_time(
+                    batch.size, hw.gpu_type, world_size=1
+                )
+                if self.overlap and rnd.world_ranks > 1:
+                    # bucketed backprop: bucket k's gradients are ready
+                    # after the (k+1)-th slice of the step's compute
+                    # (reverse layer order), and its collective runs
+                    # concurrently with the remaining slices.  Collapse
+                    # is only safe when bucket k's collective finishes
+                    # before bucket k+1 launches (the collapsed path
+                    # assumes idle links): gate it on the closed-form
+                    # cost fitting in one backprop slice, with margin
+                    # for the closed form's float rounding
+                    collapse_ok = (
+                        rnd.bucket_cost * (1.0 + 1e-9) + 1e-12
+                        <= step / self.buckets
+                    )
+                    children = []
+                    for k in range(self.buckets):
+                        yield from ctx.train_step(gpu, step / self.buckets)
+                        child = self.env.process(
+                            self._overlapped_bucket(
+                                member,
+                                (self.job_id, rnd.index, step_index, k),
+                                collapse_ok,
+                            )
+                        )
+                        children.append(child)
+                        rnd.bucket_children.setdefault(node, []).append(child)
+                    self.counters["steps"] += 1
+                    self.counters["samples"] += batch.size
+                    rnd.steps += 1
+                    compute_end = self.env.now
+                    yield AllOf(self.env, children)
+                    # only the wait past the end of backprop extends
+                    # the step: the exposed (non-overlapped) sync
+                    self.counters["exposed"] += self.env.now - compute_end
+                    # this step's children are done: drop them so the
+                    # kill list stays bounded by in-flight buckets,
+                    # not by the round's total step count
+                    node_children = rnd.bucket_children[node]
+                    for child in children:
+                        node_children.remove(child)
+                else:
+                    yield from ctx.train_step(gpu, step)
+                    self.counters["steps"] += 1
+                    self.counters["samples"] += batch.size
+                    rnd.steps += 1
+                    if rnd.world_ranks > 1:
+                        exposed_start = self.env.now
+                        for k in range(self.buckets):
+                            yield from self._sync_bucket(
+                                member,
+                                (self.job_id, rnd.index, step_index, k),
+                                serial=True,
+                            )
+                        if self.ring is not None:
+                            self.counters["exposed"] += (
+                                self.env.now - exposed_start
+                            )
+                        else:
+                            self.counters["exposed"] += (
+                                self.buckets * rnd.bucket_cost
+                            )
+            # ranks with a one-shorter budget must not stall the rest
+            self._leave_sync(member)
+        except Interrupt:
+            return
+
+    def _kill_node(self, node: int) -> None:
+        """Abrupt mid-epoch failure: interrupt, halt, abort."""
+        rnd = self._round
+        if node not in self.active:
+            return
+        self.active.remove(node)
+        self.deactivated_at[node] = self.env.now
+        loader = rnd.loaders.get(node)
+        if loader is not None:
+            loader.halt()
+        for proc in rnd.procs.get(node, []):
+            if proc.is_alive:
+                proc.interrupt("node-failure")
+        # overlapped bucket collectives launched by the dead node's
+        # ranks must die with them (a ghost sender would keep feeding
+        # the ring after its node is gone)
+        for child in rnd.bucket_children.get(node, []):
+            if child.is_alive:
+                child.interrupt("node-failure")
+        for gpu in range(self.gpus_per_node):
+            if self.ring is not None:
+                self.ring.abort((node, gpu))
+            else:
+                self.barrier.remove((node, gpu))
+
+    def _fail_controller(
+        self,
+        event_index: int,
+        event: MembershipEvent,
+        delay: float,
+        generation: int,
+    ):
+        # generation is bound per call: a controller left pending from
+        # an earlier round (its `after` outlived the epoch) must not
+        # fire into a later round -- the boundary handler degrades it
+        if delay > 0:
+            yield self.env.timeout(delay)
+        if self.round_gen["value"] != generation:
+            return  # stale: the boundary handler will apply it
+        if event_index in self.consumed:
+            return
+        self.consumed.add(event_index)
+        self._kill_node(event.node)
+
+    # -- aggregation -------------------------------------------------------
+
+    def result(self) -> DistributedResult:
+        duration = (
+            self.finished_at if self.finished_at is not None else self.env.now
         )
-        for recorder in ctx.gpu_recorders:
-            per_node_gpu.append(
+        seen_nodes = sorted(self.contexts)
+        windows = {
+            node: (
+                self.activated_at[node],
+                self.deactivated_at.get(node, duration),
+            )
+            for node in seen_nodes
+        }
+        per_node_cpu = []
+        per_node_gpu: List[float] = []
+        for node in seen_nodes:
+            start, end = windows[node]
+            span = max(end - start, 1e-12)
+            ctx = self.contexts[node]
+            per_node_cpu.append(
                 average_utilization(
-                    [i for i in recorder.intervals if i.tag == "train"],
+                    ctx.cpu_recorder.intervals,
                     start,
                     end,
+                    capacity=self.cluster.hw_for(node).cpu_cores,
                 )
+                if span > 0
+                else 0.0
             )
-    return DistributedResult(
-        loader=loader_name,
-        workload=workload.name,
-        nodes=membership.initial_nodes,
-        gpus_per_node=gpus_per_node,
-        training_time=duration,
-        steps=counters["steps"],
-        samples=counters["samples"],
-        gpu_utilization=(
-            sum(per_node_gpu) / len(per_node_gpu) if per_node_gpu else 0.0
-        ),
-        cpu_utilization=(
-            sum(per_node_cpu) / len(per_node_cpu) if per_node_cpu else 0.0
-        ),
-        sync_seconds_total=counters["sync"],
-        exposed_sync_seconds=counters["exposed"],
-        gradient_bytes_synced=counters["grad_bytes"],
-        topology=topology,
-        overlap=overlap,
-        buckets=buckets,
-        shard_sizes=list(epoch_shard_sizes[-1]) if epoch_shard_sizes else [],
-        per_node_cpu_utilization=per_node_cpu,
-        node_hardware_names=[hw_for(node).name for node in seen_nodes],
-        fabric=fabric,
-        node_ids=seen_nodes,
-        per_node_active_seconds=[
-            max(0.0, windows[node][1] - windows[node][0]) for node in seen_nodes
-        ],
-        epoch_membership=epoch_membership,
-        epoch_shard_sizes=epoch_shard_sizes,
-        epoch_coverage=epoch_coverage,
-        reshard_policy=reshard,
-        epoch_shard_overlap=epoch_shard_overlap,
-        epoch_cache_deltas=epoch_cache_deltas,
-        epoch_stale_bytes=epoch_stale_bytes,
-        per_node_cache_bytes=[
-            contexts[node].cache.capacity_bytes for node in seen_nodes
-        ],
-        collapsed_collectives=(
-            ring.collapsed_collectives if ring is not None else 0
-        ),
-        sim_events=env.events_processed,
-    )
+            for recorder in ctx.gpu_recorders:
+                per_node_gpu.append(
+                    average_utilization(
+                        [i for i in recorder.intervals if i.tag == "train"],
+                        start,
+                        end,
+                    )
+                )
+        return DistributedResult(
+            loader=self.loader_name,
+            workload=self.workload.name,
+            nodes=self.membership.initial_nodes,
+            gpus_per_node=self.gpus_per_node,
+            training_time=duration - self.started_at,
+            steps=self.counters["steps"],
+            samples=self.counters["samples"],
+            gpu_utilization=(
+                sum(per_node_gpu) / len(per_node_gpu) if per_node_gpu else 0.0
+            ),
+            cpu_utilization=(
+                sum(per_node_cpu) / len(per_node_cpu) if per_node_cpu else 0.0
+            ),
+            sync_seconds_total=self.counters["sync"],
+            exposed_sync_seconds=self.counters["exposed"],
+            gradient_bytes_synced=self.counters["grad_bytes"],
+            topology=self.topology,
+            overlap=self.overlap,
+            buckets=self.buckets,
+            shard_sizes=(
+                list(self.epoch_shard_sizes[-1])
+                if self.epoch_shard_sizes
+                else []
+            ),
+            per_node_cpu_utilization=per_node_cpu,
+            node_hardware_names=[
+                self.cluster.hw_for(node).name for node in seen_nodes
+            ],
+            fabric=self.fabric_name,
+            node_ids=seen_nodes,
+            per_node_active_seconds=[
+                max(0.0, windows[node][1] - windows[node][0])
+                for node in seen_nodes
+            ],
+            epoch_membership=self.epoch_membership,
+            epoch_shard_sizes=self.epoch_shard_sizes,
+            epoch_coverage=self.epoch_coverage,
+            reshard_policy=self.reshard,
+            epoch_shard_overlap=self.epoch_shard_overlap,
+            epoch_cache_deltas=self.epoch_cache_deltas,
+            epoch_stale_bytes=self.epoch_stale_bytes,
+            per_node_cache_bytes=[
+                self.contexts[node].cache.capacity_bytes for node in seen_nodes
+            ],
+            collapsed_collectives=(
+                self.ring.collapsed_collectives if self.ring is not None else 0
+            ),
+            sim_events=self.env.events_processed,
+            job_id=self.job_id,
+            cache_hit_bytes=float(
+                sum(self.contexts[n].cache_hit_bytes for n in seen_nodes)
+            ),
+            cache_miss_bytes=float(
+                sum(self.contexts[n].cache_miss_bytes for n in seen_nodes)
+            ),
+            storage_wait_seconds=sum(
+                self.contexts[n].storage_wait_seconds for n in seen_nodes
+            ),
+            link_wait_seconds=(
+                self.ring.link_wait_seconds if self.ring is not None else 0.0
+            ),
+            partition_stall_seconds=(
+                self.ring.partition_stall_seconds
+                if self.ring is not None
+                else 0.0
+            ),
+        )

@@ -145,6 +145,7 @@ class RingFabric:
         detection_timeout: float = 1.0,
         topology: Optional[Topology] = None,
         collapse: bool = False,
+        partitions: Optional[Any] = None,
     ) -> None:
         if bandwidth <= 0:
             raise ConfigurationError(f"bandwidth must be positive, got {bandwidth!r}")
@@ -181,6 +182,19 @@ class RingFabric:
         self.collapsed_collectives = 0
         #: key -> registration entry of a not-yet-completed fast-path try
         self._pending_collapse: Dict[Any, _CollapseEntry] = {}
+        #: partition schedule (an object answering
+        #: ``partition_release(now, node_a, node_b)`` -- in practice the
+        #: cluster's :class:`~repro.sim.cluster.ClusterMembership`); a
+        #: delivery crossing an active cut stalls until the window heals
+        #: instead of the ring aborting.  None: deliveries land inline,
+        #: byte-identical to the pre-partition fabric.
+        self.partitions = partitions
+        #: seconds this fabric's sends queued behind other traffic on
+        #: their links before starting (cross-job link contention plus any
+        #: same-job overlap backlog)
+        self.link_wait_seconds = 0.0
+        #: seconds of delivery stall injected by partition windows
+        self.partition_stall_seconds = 0.0
 
     # -- membership --------------------------------------------------------
 
@@ -242,6 +256,50 @@ class RingFabric:
 
         self.env.process(detector())
 
+    # -- delivery (partition-aware) ----------------------------------------
+
+    @staticmethod
+    def _member_node(member: Hashable) -> Hashable:
+        """The node a ring member lives on ((node, gpu) ranks; plain
+        hashables are their own node)."""
+        if isinstance(member, tuple) and len(member) == 2:
+            return member[0]
+        return member
+
+    def _deliver(
+        self, event: Event, sender: Hashable, receiver: Hashable
+    ) -> None:
+        """Land ``sender``'s finished chunk at ``receiver``.
+
+        Without partitions this succeeds the delivery inline -- no extra
+        kernel event, byte-identical to the pre-partition fabric.  A
+        delivery crossing an active partition window stalls until the
+        window heals: the receiver waits, nothing aborts, and once healed
+        the ring resumes where it stopped.
+        """
+        if self.partitions is None:
+            event.succeed()
+            return
+        release = self.partitions.partition_release(
+            self.env.now,
+            self._member_node(sender),
+            self._member_node(receiver),
+        )
+        if release <= self.env.now:
+            event.succeed()
+            return
+        self.partition_stall_seconds += release - self.env.now
+        delay = release - self.env.now
+
+        def stalled() -> Generator:
+            yield self.env.timeout(delay)
+            # a failure-detector fill-in may have landed the chunk while
+            # the cut was open; a delivery only ever succeeds once
+            if not event.triggered:
+                event.succeed()
+
+        self.env.process(stalled())
+
     # -- links -------------------------------------------------------------
 
     def link(self, member: Hashable, scope: str = "inter"):
@@ -278,15 +336,19 @@ class RingFabric:
             return
         position = ring.index(member)
         predecessor = ring[position - 1]
+        successor = ring[(position + 1) % world]
         chunk = phase.nbytes / world
         link = self.topology.link(member, phase.scope)
         for stage in range(world - 1):
+            backlog = link.backlog
+            if backlog > 0:
+                self.link_wait_seconds += backlog
             send_done = link.transfer(chunk)
             mine = collective.delivery(stage, member)
             recv = collective.delivery(stage, predecessor)
             yield send_done
             if not mine.triggered:
-                mine.succeed()
+                self._deliver(mine, member, successor)
             if not recv.triggered:
                 yield recv
         self._retire(ckey, collective, member)
@@ -373,6 +435,10 @@ class RingFabric:
         idle-equivalent again: a link's owner only sends once its previous
         collective finished, by which time the link had drained)."""
         if self.dead or self._collectives:
+            return False
+        if self.partitions is not None:
+            # a partition window can open mid-walk; the representative
+            # schedule cannot model a stalled cross-cut delivery
             return False
         now = self.env.now
         for pipe in self.topology._links.values():

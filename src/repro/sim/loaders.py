@@ -101,6 +101,9 @@ class SimContext:
         num_gpus: int,
         cache_fraction: float = 0.8,
         record_transfers: bool = True,
+        site=None,
+        nic=None,
+        cache_namespace=None,
     ) -> None:
         if not 1 <= num_gpus <= hardware.max_gpus:
             raise ConfigurationError(
@@ -111,19 +114,38 @@ class SimContext:
         self.workload = workload
         self.hardware = hardware
         self.num_gpus = num_gpus
-        # record_transfers=False keeps the disk pipe's per-transfer log off
-        # (the multi-node runner only consumes aggregate totals; at
-        # benchmark scale the log is millions of tuples)
-        self.disk = BandwidthPipe(
-            env,
-            hardware.storage.bandwidth,
-            hardware.storage.latency,
-            record=record_transfers,
-        )
-        self.cache = PageCache(hardware.memory_bytes * cache_fraction)
-        #: physical CPU cores: all CPU-side work queues here, so no loader
-        #: can use more parallelism than the machine has
-        self.cores = Resource(env, capacity=hardware.cpu_cores)
+        if site is not None:
+            # multi-tenant path: the node's storage pipe, page cache and
+            # CPU cores belong to the cluster's NodeSite -- every job on
+            # the node contends here instead of owning private copies
+            self.disk = site.disk
+            self.cache = site.cache
+            self.cores = site.cores
+        else:
+            # record_transfers=False keeps the disk pipe's per-transfer log
+            # off (the multi-node runner only consumes aggregate totals; at
+            # benchmark scale the log is millions of tuples)
+            self.disk = BandwidthPipe(
+                env,
+                hardware.storage.bandwidth,
+                hardware.storage.latency,
+                record=record_transfers,
+            )
+            self.cache = PageCache(hardware.memory_bytes * cache_fraction)
+            #: physical CPU cores: all CPU-side work queues here, so no
+            #: loader can use more parallelism than the machine has
+            self.cores = Resource(env, capacity=hardware.cpu_cores)
+        #: remote-storage NIC pipe (Cluster.storage_over_nic): cache-miss
+        #: reads also traverse it, queueing with collective traffic
+        self.nic = nic
+        #: per-job cache key namespace on a shared cache: two tenants'
+        #: sample index 0 are different bytes and must not alias
+        self.cache_namespace = cache_namespace
+        #: per-tenant data-path counters (this context's own traffic, exact
+        #: even when the cache/disk are shared with other jobs)
+        self.cache_hit_bytes = 0
+        self.cache_miss_bytes = 0
+        self.storage_wait_seconds = 0.0
         self.gpus = [Resource(env, capacity=1) for _ in range(num_gpus)]
         self.gpu_recorders = [IntervalRecorder(f"gpu{g}") for g in range(num_gpus)]
         self.cpu_recorder = IntervalRecorder("cpu")
@@ -169,13 +191,27 @@ class SimContext:
 
     # -- storage -----------------------------------------------------------------
 
+    def cache_key(self, index: int):
+        """The page-cache key for a sample index (namespaced per job on
+        shared caches)."""
+        if self.cache_namespace is None:
+            return index
+        return (self.cache_namespace, index)
+
     def read_sample(self, spec: SampleSpec) -> Generator:
-        """Fetch a sample: page-cache hit (DRAM copy) or disk transfer."""
-        hit = self.cache.access(spec.index, spec.raw_nbytes)
+        """Fetch a sample: page-cache hit (DRAM copy) or disk transfer
+        (plus a NIC hop when storage is remote)."""
+        hit = self.cache.access(self.cache_key(spec.index), spec.raw_nbytes)
         if hit:
+            self.cache_hit_bytes += spec.raw_nbytes
             yield self.env.timeout(spec.raw_nbytes / DRAM_BANDWIDTH)
         else:
+            self.cache_miss_bytes += spec.raw_nbytes
+            self.storage_wait_seconds += self.disk.backlog
             yield self.disk.transfer(spec.raw_nbytes)
+            if self.nic is not None:
+                self.storage_wait_seconds += self.nic.backlog
+                yield self.nic.transfer(spec.raw_nbytes)
 
     # -- CPU accounting -------------------------------------------------------------
 

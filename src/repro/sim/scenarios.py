@@ -1,0 +1,354 @@
+"""Multi-tenant scenario engine: job mixes on one shared cluster.
+
+A production cluster rarely runs one training job at a time.  The paper's
+contention story -- loaders, collectives and the page cache fighting over a
+node's data path -- compounds when *several* jobs share the machines: two
+jobs' collectives queue on the same NIC pipes, their loaders on the same
+storage device, their working sets in the same physical page cache.
+
+This module composes the pieces below it into that setting.  A
+:class:`JobSpec` describes one tenant's training job (everything
+job-owned: workload, loader, step budget, overlap/bucketing, arrival
+time); a :class:`JobMix` submits a set of them to one shared
+:class:`~repro.sim.cluster.Cluster` and drives the cluster's kernel until
+every job finishes, returning a :class:`MixResult` with per-tenant metrics
+(makespan, exposed sync, cache hit/miss bytes, link-contention seconds).
+
+A mix of **one** job on a cluster built from the same arguments is
+byte-identical to calling :func:`~repro.sim.distributed.run_elastic`
+directly -- the single-tenant path is the degenerate mix, pinned by the
+kernel-equivalence suite.
+
+:data:`PRESETS` names four ready-made scenarios, runnable from the CLI as
+``python -m repro scenarios --preset <name>``:
+
+* ``steady`` -- two jobs sharing the cluster from t=0: pure steady-state
+  contention on links, storage and cache;
+* ``burst`` -- staggered arrivals: a running job sees tenants burst in and
+  its rounds slow down as the links fill;
+* ``worker_failure`` -- a node dies mid-round under a two-job mix; both
+  jobs' fabrics detect and re-shard independently;
+* ``network_partition`` -- a transient reachability split stalls every
+  cross-cut ring delivery, then heals; the fabric recovers, never aborts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .cluster import (
+    Cluster,
+    ClusterMembership,
+    MembershipEvent,
+    PartitionEvent,
+    validate_job_mix,
+)
+from .distributed import AllReduceModel, DistributedResult, _ElasticJob
+from .kernel import AllOf
+from .workloads import CONFIG_A, make_workload
+
+__all__ = [
+    "JobSpec",
+    "JobMix",
+    "MixResult",
+    "PRESETS",
+    "run_preset",
+]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One tenant's training job, as submitted to a shared cluster.
+
+    Only *job-owned* knobs live here; everything resource-shaped
+    (membership, topology, link parameters, per-node hardware, caches)
+    belongs to the :class:`~repro.sim.cluster.Cluster` the mix runs on.
+    """
+
+    job_id: str
+    loader: str
+    workload_name: str
+    #: virtual seconds after t=0 at which the job starts its first round
+    arrival: float = 0.0
+    #: tie-break weight: at equal virtual timestamps, a higher-priority
+    #: job's processes are scheduled first (its link transfers win the
+    #: tie); must be >= 0
+    priority: int = 0
+    #: per-step gradient bytes this job synchronizes (the one
+    #: AllReduceModel knob a tenant may set; link params are cluster-owned)
+    gradient_bytes: float = 400e6
+    #: dataset-size override for the synthetic workload (None: default)
+    dataset_size: Optional[int] = None
+    loader_kwargs: Optional[dict] = None
+    #: exactly one of epochs / total_steps bounds the job (falling back to
+    #: the workload's own budget when both are None)
+    epochs: Optional[int] = None
+    total_steps: Optional[int] = None
+    fabric: str = "ring"
+    detection_timeout: float = 1.0
+    reshard: str = "stride"
+    overlap: bool = False
+    buckets: int = 1
+    collapse: bool = True
+
+
+class JobMix:
+    """A set of concurrent jobs submitted to one shared cluster.
+
+    Construction validates the mix shape (non-empty, unique non-empty job
+    ids, non-negative priorities and arrivals -- the same helper
+    :func:`~repro.sim.cluster.validate_job_mix` every entry point uses);
+    :meth:`run` spawns each job as a kernel process (higher priority
+    first, so priority decides equal-timestamp ties on the shared links),
+    drives the cluster's kernel until all of them finish, and aggregates
+    per-tenant metrics.
+
+    With more than one job, each tenant's page-cache entries are keyed by
+    its ``job_id`` (two jobs' sample index 0 are different bytes) and the
+    ring fabric's homogeneous-rank collapse stays off -- its quiescence
+    probe cannot see another job's future link traffic.  A single-job mix
+    keeps plain keys and collapse eligibility, making it byte-identical to
+    :func:`~repro.sim.distributed.run_elastic` on the same arguments.
+    """
+
+    def __init__(self, jobs: Sequence[JobSpec], cluster: Cluster) -> None:
+        validate_job_mix(jobs)
+        if not isinstance(cluster, Cluster):
+            raise ConfigurationError(
+                f"a JobMix runs on a Cluster, got {cluster!r}"
+            )
+        self.jobs: Tuple[JobSpec, ...] = tuple(jobs)
+        self.cluster = cluster
+
+    def run(self) -> "MixResult":
+        cluster = self.cluster
+        shared = len(self.jobs) > 1
+        # build in priority order (stable on the original mix order), so a
+        # higher-priority job's processes get earlier ids and win
+        # same-instant scheduling ties
+        order = sorted(
+            range(len(self.jobs)), key=lambda i: (-self.jobs[i].priority, i)
+        )
+        elastic: Dict[str, _ElasticJob] = {}
+        procs = []
+        for i in order:
+            spec = self.jobs[i]
+            workload = make_workload(
+                spec.workload_name, dataset_size=spec.dataset_size
+            )
+            job = _ElasticJob(
+                spec.loader,
+                workload,
+                cluster.hardware,
+                cluster=cluster,
+                allreduce=AllReduceModel(
+                    latency=cluster.link_latency,
+                    bandwidth=cluster.link_bandwidth,
+                    gradient_bytes=spec.gradient_bytes,
+                ),
+                loader_kwargs=spec.loader_kwargs,
+                epochs=spec.epochs,
+                fabric=spec.fabric,
+                detection_timeout=spec.detection_timeout,
+                reshard=spec.reshard,
+                total_steps=spec.total_steps,
+                overlap=spec.overlap,
+                buckets=spec.buckets,
+                collapse=spec.collapse,
+                job_id=spec.job_id,
+                arrival=spec.arrival,
+                cache_namespace=spec.job_id if shared else None,
+            )
+            elastic[spec.job_id] = job
+            procs.append(cluster.env.process(job.run()))
+        if len(procs) == 1:
+            # the degenerate mix matches run_elastic's drive loop exactly
+            # (an AllOf wrapper would process one extra kernel event)
+            cluster.env.run(until=procs[0])
+        else:
+            cluster.env.run(until=AllOf(cluster.env, procs))
+        results = [elastic[spec.job_id].result() for spec in self.jobs]
+        return MixResult(
+            jobs=results,
+            arrivals={spec.job_id: spec.arrival for spec in self.jobs},
+            makespan=max(
+                spec.arrival + res.training_time
+                for spec, res in zip(self.jobs, results)
+            ),
+            sim_events=cluster.env.events_processed,
+        )
+
+
+@dataclass
+class MixResult:
+    """Per-tenant and cluster-wide outcome of one mix run."""
+
+    #: one DistributedResult per job, in the mix's submission order; the
+    #: per-tenant fields (cache_hit_bytes / cache_miss_bytes /
+    #: storage_wait_seconds / link_wait_seconds / partition_stall_seconds)
+    #: are exact per job even on shared resources
+    jobs: List[DistributedResult] = field(default_factory=list)
+    arrivals: Dict[str, float] = field(default_factory=dict)
+    #: virtual time at which the last job finished (cluster makespan)
+    makespan: float = 0.0
+    #: kernel events the whole mix processed (one shared kernel)
+    sim_events: int = 0
+
+    def job(self, job_id: str) -> DistributedResult:
+        for res in self.jobs:
+            if res.job_id == job_id:
+                return res
+        raise KeyError(job_id)
+
+    @property
+    def per_job_makespan(self) -> Dict[str, float]:
+        """Each job's completion time measured from t=0 (arrival wait
+        included) -- what a tenant experiences end to end."""
+        return {
+            res.job_id: self.arrivals.get(res.job_id, 0.0) + res.training_time
+            for res in self.jobs
+        }
+
+    @property
+    def link_contention_seconds(self) -> float:
+        """Total seconds the mix's jobs spent queueing on shared transport
+        (storage pipes, collective links, partition stalls)."""
+        return sum(res.link_contention_seconds for res in self.jobs)
+
+    def summary(self) -> str:
+        lines = [res.summary() for res in self.jobs]
+        lines.append(
+            f"mix: {len(self.jobs)} job(s), makespan {self.makespan:.2f}s, "
+            f"contention {self.link_contention_seconds:.2f}s, "
+            f"{self.sim_events} kernel events"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Presets
+# ---------------------------------------------------------------------------
+
+#: shared preset geometry: small enough for CI smoke, big enough that two
+#: tenants measurably contend (4 nodes x 2 GPUs, tiny synthetic shards)
+_NODES = 4
+_GPUS = 2
+_DATASET = 6 * _NODES
+
+
+def _steps(scale: float) -> int:
+    """Cluster-wide step budget for one preset job."""
+    per_gpu = max(2, round(4 * scale))
+    return per_gpu * _NODES * _GPUS
+
+
+def _cluster(membership: Optional[ClusterMembership] = None) -> Cluster:
+    return Cluster(
+        membership if membership is not None else ClusterMembership(_NODES),
+        CONFIG_A,
+        gpus_per_node=_GPUS,
+        topology="flat",
+    )
+
+
+def _job(job_id: str, loader: str, scale: float, **overrides) -> JobSpec:
+    kwargs = dict(
+        job_id=job_id,
+        loader=loader,
+        workload_name="image_segmentation",
+        dataset_size=_DATASET,
+        total_steps=_steps(scale),
+        fabric="ring",
+    )
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+def preset_steady(scale: float = 1.0) -> JobMix:
+    """Two tenants sharing the cluster from t=0: steady-state contention
+    on the same NIC pipes, storage devices and page caches.
+
+    Both tenants run the aggressive prefetching loader, so their warmup
+    reads burst onto the shared storage pipes at the same instants --
+    the contention is visible in makespans, not just counters (a fast
+    and a slow loader interleave into each other's idle gaps instead).
+    """
+    return JobMix(
+        [
+            _job("tenant-a", "minato", scale),
+            _job("tenant-b", "minato", scale),
+        ],
+        _cluster(),
+    )
+
+
+def preset_burst(scale: float = 1.0) -> JobMix:
+    """Staggered arrivals: tenant-a runs alone, then two more burst in.
+    tenant-a's later rounds slow down as the shared links fill."""
+    return JobMix(
+        [
+            _job("tenant-a", "minato", scale),
+            _job("tenant-b", "pytorch", scale, arrival=2.0),
+            _job("tenant-c", "dali", scale, arrival=4.0, priority=1),
+        ],
+        _cluster(),
+    )
+
+
+def preset_worker_failure(scale: float = 1.0) -> JobMix:
+    """A node dies mid-round under a two-job mix: each job's fabric
+    detects the dead ranks independently (survivors stall at most the
+    detection timeout) and the next boundary re-shards around the hole."""
+    membership = ClusterMembership(
+        _NODES,
+        events=(
+            MembershipEvent("fail", node=_NODES - 1, epoch=0, after=1.0),
+        ),
+    )
+    return JobMix(
+        [
+            _job("tenant-a", "minato", scale),
+            _job("tenant-b", "pytorch", scale),
+        ],
+        _cluster(membership),
+    )
+
+
+def preset_network_partition(scale: float = 1.0) -> JobMix:
+    """A transient reachability split cuts half the cluster off for a
+    window, then heals.  Ring deliveries crossing the cut stall (reported
+    as ``partition_stall_seconds``); nothing aborts, both jobs finish."""
+    membership = ClusterMembership(
+        _NODES,
+        partitions=(
+            PartitionEvent(nodes=(0, 1), time=0.5, duration=1.0),
+        ),
+    )
+    return JobMix(
+        [
+            _job("tenant-a", "minato", scale),
+            _job("tenant-b", "pytorch", scale),
+        ],
+        _cluster(membership),
+    )
+
+
+PRESETS = {
+    "steady": preset_steady,
+    "burst": preset_burst,
+    "worker_failure": preset_worker_failure,
+    "network_partition": preset_network_partition,
+}
+
+
+def run_preset(name: str, scale: float = 1.0) -> MixResult:
+    """Build and run a named preset mix at ``scale``."""
+    if name not in PRESETS:
+        raise ConfigurationError(
+            f"unknown preset {name!r}; expected one of {sorted(PRESETS)}"
+        )
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale!r}")
+    return PRESETS[name](scale).run()

@@ -91,6 +91,17 @@ class Topology:
         """(bandwidth, latency) of ``member``'s outgoing ``scope`` link."""
         raise NotImplementedError
 
+    def nic_link(self, node: Hashable) -> BandwidthPipe:
+        """The node's inter-scope NIC pipe, addressed by node id.
+
+        Ranks are ``(node, gpu)`` members; the node's non-collective
+        traffic (remote-storage loader reads under
+        ``Cluster(storage_over_nic=True)``) is served from rank
+        ``(node, 0)``'s inter link, so it queues behind -- and delays --
+        that rank's collective stream on the same pipe.
+        """
+        return self.link((node, 0), "inter")
+
     # -- collective plan ---------------------------------------------------
 
     def phases(

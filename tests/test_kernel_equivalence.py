@@ -21,11 +21,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.sim.cluster import Cluster
 from repro.sim.distributed import (
     ClusterMembership,
     MembershipEvent,
     run_elastic,
 )
+from repro.sim.scenarios import JobMix, JobSpec
 from repro.sim.workloads import CONFIG_A, make_workload
 
 NODES = 4
@@ -98,6 +100,42 @@ def test_kernel_configurations_agree(topology, overlap, churn):
             f"{topology}/{'overlap' if overlap else 'serial'}/{churn}: "
             f"collapse={collapse} queue={queue} diverged from exact heap"
         )
+
+
+@pytest.mark.parametrize("churn", sorted(CHURN))
+@pytest.mark.parametrize("overlap", [False, True], ids=["serial", "overlap"])
+@pytest.mark.parametrize("topology", ["flat", "hierarchical"])
+def test_single_job_mix_matches_run_elastic(topology, overlap, churn):
+    """A one-job JobMix on an explicitly built Cluster is the degenerate
+    multi-tenant case and must be byte-identical to calling run_elastic
+    directly: the cluster-owned-resources refactor may not perturb the
+    single-tenant path by even one float."""
+    events = CHURN[churn]
+    direct = run(topology, overlap, events)
+    cluster = Cluster(
+        ClusterMembership(NODES, list(events)),
+        CONFIG_A,
+        gpus_per_node=GPUS,
+        cache_fraction=1.0,
+        topology=topology,
+    )
+    spec = JobSpec(
+        job_id="job0",
+        loader="minato",
+        workload_name="image_segmentation",
+        dataset_size=6 * NODES,
+        total_steps=STEPS_PER_GPU * NODES * GPUS,
+        fabric="ring",
+        overlap=overlap,
+        buckets=2 if overlap else 1,
+    )
+    mix = JobMix([spec], cluster).run()
+    assert len(mix.jobs) == 1
+    assert comparable(mix.jobs[0]) == comparable(direct), (
+        f"{topology}/{'overlap' if overlap else 'serial'}/{churn}: "
+        f"single-job mix diverged from run_elastic"
+    )
+    assert mix.makespan == direct.training_time
 
 
 @st.composite

@@ -1,0 +1,458 @@
+"""Multi-tenant scenario engine: mix validation, preset behaviour,
+cross-tenant contention, and partition stall-and-heal semantics."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.cluster import (
+    Cluster,
+    ClusterMembership,
+    MembershipEvent,
+    PartitionEvent,
+)
+from repro.sim.distributed import (
+    AllReduceModel,
+    _MemberBarrier,
+    run_distributed,
+    run_elastic,
+)
+from repro.sim.kernel import Environment
+from repro.sim.scenarios import (
+    PRESETS,
+    JobMix,
+    JobSpec,
+    preset_steady,
+    run_preset,
+)
+from repro.sim.workloads import CONFIG_A, make_workload
+
+NODES = 4
+GPUS = 2
+
+
+def _cluster(membership=None, **kwargs):
+    return Cluster(
+        membership if membership is not None else ClusterMembership(NODES),
+        CONFIG_A,
+        gpus_per_node=GPUS,
+        **kwargs,
+    )
+
+
+def _spec(job_id="job0", **overrides):
+    kwargs = dict(
+        job_id=job_id,
+        loader="minato",
+        workload_name="image_segmentation",
+        dataset_size=6 * NODES,
+        total_steps=2 * NODES * GPUS,
+        fabric="ring",
+    )
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Mix validation (the shared helper every entry point uses)
+# ---------------------------------------------------------------------------
+
+
+def test_empty_mix_rejected():
+    with pytest.raises(ConfigurationError, match="empty"):
+        JobMix([], _cluster())
+
+
+def test_duplicate_job_ids_rejected():
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        JobMix([_spec("a"), _spec("a")], _cluster())
+
+
+def test_negative_priority_rejected():
+    with pytest.raises(ConfigurationError, match="priority"):
+        JobMix([_spec(priority=-1)], _cluster())
+
+
+def test_negative_arrival_rejected():
+    with pytest.raises(ConfigurationError, match="arrival"):
+        JobMix([_spec(arrival=-0.5)], _cluster())
+
+
+def test_blank_job_id_rejected():
+    with pytest.raises(ConfigurationError, match="job_id"):
+        JobMix([_spec(job_id="")], _cluster())
+
+
+def test_mix_requires_cluster():
+    with pytest.raises(ConfigurationError, match="Cluster"):
+        JobMix([_spec()], cluster=None)
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ConfigurationError, match="unknown preset"):
+        run_preset("nope")
+
+
+def test_nonpositive_scale_rejected():
+    with pytest.raises(ConfigurationError, match="scale"):
+        run_preset("steady", scale=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Cluster-owned argument validation (run_elastic / run_distributed share it)
+# ---------------------------------------------------------------------------
+
+
+def _workload():
+    return make_workload("image_segmentation", dataset_size=6 * NODES)
+
+
+def test_run_elastic_rejects_queue_with_cluster():
+    with pytest.raises(ConfigurationError, match="queue"):
+        run_elastic(
+            "minato", _workload(), CONFIG_A, cluster=_cluster(),
+            total_steps=NODES * GPUS, queue="heap",
+        )
+
+
+def test_run_elastic_rejects_node_hardware_with_cluster():
+    with pytest.raises(ConfigurationError, match="node_hardware"):
+        run_elastic(
+            "minato", _workload(), CONFIG_A, cluster=_cluster(),
+            total_steps=NODES * GPUS, node_hardware={0: CONFIG_A},
+        )
+
+
+def test_run_elastic_rejects_foreign_membership_with_cluster():
+    with pytest.raises(ConfigurationError, match="membership"):
+        run_elastic(
+            "minato", _workload(), CONFIG_A, ClusterMembership(NODES),
+            cluster=_cluster(), total_steps=NODES * GPUS,
+        )
+
+
+def test_run_elastic_rejects_conflicting_gpus_with_cluster():
+    with pytest.raises(ConfigurationError, match="gpus_per_node"):
+        run_elastic(
+            "minato", _workload(), CONFIG_A, cluster=_cluster(),
+            gpus_per_node=GPUS + 1, total_steps=NODES * GPUS,
+        )
+
+
+def test_run_elastic_rejects_foreign_link_params_on_shared_cluster():
+    with pytest.raises(ConfigurationError, match="cluster-owned"):
+        run_elastic(
+            "minato", _workload(), CONFIG_A, cluster=_cluster(),
+            allreduce=AllReduceModel(latency=0.5),
+            total_steps=NODES * GPUS,
+        )
+
+
+def test_run_elastic_requires_membership_or_cluster():
+    with pytest.raises(ConfigurationError, match="ClusterMembership"):
+        run_elastic("minato", _workload(), CONFIG_A, total_steps=NODES * GPUS)
+
+
+def test_run_distributed_rejects_mismatched_nodes_with_cluster():
+    with pytest.raises(ConfigurationError, match="initial nodes"):
+        run_distributed(
+            "minato", _workload(), CONFIG_A, nodes=NODES + 1,
+            cluster=_cluster(), steps_per_gpu=1,
+        )
+
+
+def test_partitions_require_ring_fabric():
+    membership = ClusterMembership(
+        NODES, partitions=(PartitionEvent(nodes=(0,), time=0.1, duration=0.5),)
+    )
+    with pytest.raises(ConfigurationError, match="ring"):
+        run_elastic(
+            "minato", _workload(), CONFIG_A, membership,
+            gpus_per_node=GPUS, fabric="analytic", total_steps=NODES * GPUS,
+        )
+
+
+def test_partition_event_validation():
+    with pytest.raises(ConfigurationError, match="at least one"):
+        PartitionEvent(nodes=(), time=0.0, duration=1.0)
+    with pytest.raises(ConfigurationError, match="unique"):
+        PartitionEvent(nodes=(1, 1), time=0.0, duration=1.0)
+    with pytest.raises(ConfigurationError, match="duration"):
+        PartitionEvent(nodes=(0,), time=0.0, duration=0.0)
+    with pytest.raises(ConfigurationError, match="time"):
+        PartitionEvent(nodes=(0,), time=-1.0, duration=1.0)
+    with pytest.raises(ConfigurationError, match="unknown"):
+        ClusterMembership(
+            2, partitions=(PartitionEvent(nodes=(7,), time=0.0, duration=1.0),)
+        )
+
+
+def test_partition_release_chains_overlapping_windows():
+    membership = ClusterMembership(
+        4,
+        partitions=(
+            PartitionEvent(nodes=(0, 1), time=1.0, duration=1.0),
+            PartitionEvent(nodes=(0,), time=1.5, duration=1.0),
+        ),
+    )
+    # inside the first window, the overlapping second window extends the
+    # stall: release is the fixpoint over the chain, not the first end
+    assert membership.partition_release(1.2, 0, 2) == pytest.approx(2.5)
+    # nodes on the same side of every cut never stall
+    assert membership.partition_release(1.2, 2, 3) == 1.2
+    # after every window closes, delivery is immediate
+    assert membership.partition_release(3.0, 0, 2) == 3.0
+
+
+# ---------------------------------------------------------------------------
+# Presets
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_presets_run_and_complete(name):
+    mix_result = run_preset(name, scale=0.25)
+    assert mix_result.jobs, name
+    for res in mix_result.jobs:
+        assert res.steps > 0, f"{name}/{res.job_id} made no progress"
+        assert res.samples > 0
+    assert mix_result.makespan > 0
+    assert mix_result.makespan == pytest.approx(
+        max(mix_result.per_job_makespan.values())
+    )
+    # the summary is one line per job plus a mix line
+    assert len(mix_result.summary().splitlines()) == len(mix_result.jobs) + 1
+
+
+def test_result_summary_is_compact():
+    res = run_preset("steady", scale=0.25).jobs[0]
+    line = res.summary()
+    assert "\n" not in line
+    assert res.job_id in line and res.loader in line
+
+
+def test_burst_jobs_start_at_their_arrivals():
+    mix_result = run_preset("burst", scale=0.25)
+    # a staggered job's completion time includes its arrival offset
+    for res in mix_result.jobs:
+        arrival = mix_result.arrivals[res.job_id]
+        assert mix_result.per_job_makespan[res.job_id] == pytest.approx(
+            arrival + res.training_time
+        )
+    assert mix_result.arrivals["tenant-b"] > 0
+    assert mix_result.arrivals["tenant-c"] > mix_result.arrivals["tenant-b"]
+
+
+def test_two_tenants_strictly_slower_than_solo():
+    """The acceptance gate: sharing a cluster must cost each tenant
+    wall-clock versus the same job alone on an identical private one."""
+    shared = preset_steady(1.0).run()
+    for spec in preset_steady(1.0).jobs:
+        solo_spec = JobSpec(**{**spec.__dict__, "arrival": 0.0})
+        alone = JobMix(
+            [solo_spec],
+            Cluster(
+                ClusterMembership(NODES), CONFIG_A,
+                gpus_per_node=GPUS, topology="flat",
+            ),
+        ).run().jobs[0]
+        both = shared.job(spec.job_id)
+        assert both.training_time > alone.training_time, (
+            f"{spec.job_id}: no contention visible "
+            f"({both.training_time} vs {alone.training_time})"
+        )
+    assert shared.link_contention_seconds > 0
+
+
+def test_tenant_caches_are_namespaced():
+    mix = preset_steady(0.25)
+    mix.run()
+    cache = mix.cluster.site(0).cache
+    namespaces = {
+        key[0] for key in cache._entries if isinstance(key, tuple)
+    }
+    assert namespaces == {"tenant-a", "tenant-b"}
+
+
+def test_shared_cluster_disables_collapse():
+    mix = preset_steady(0.25)
+    result = mix.run()
+    assert mix.cluster.shared
+    for res in result.jobs:
+        assert res.collapsed_collectives == 0
+
+
+# ---------------------------------------------------------------------------
+# Partition semantics
+# ---------------------------------------------------------------------------
+
+
+def _partition_membership(duration=1.0, time=0.5):
+    return ClusterMembership(
+        NODES,
+        partitions=(
+            PartitionEvent(nodes=(0, 1), time=time, duration=duration),
+        ),
+    )
+
+
+def test_partition_stalls_and_heals_single_job():
+    baseline = run_elastic(
+        "minato", _workload(), CONFIG_A, ClusterMembership(NODES),
+        gpus_per_node=GPUS, fabric="ring", total_steps=4 * NODES * GPUS,
+    )
+    partitioned = run_elastic(
+        "minato", _workload(), CONFIG_A, _partition_membership(),
+        gpus_per_node=GPUS, fabric="ring", total_steps=4 * NODES * GPUS,
+    )
+    assert partitioned.partition_stall_seconds > 0
+    assert partitioned.training_time > baseline.training_time
+    assert partitioned.steps == baseline.steps
+    assert partitioned.samples == baseline.samples
+
+
+def test_partition_then_heal_never_deadlocks():
+    """Watchdog-guarded: the partitioned mix must finish, not hang.  A
+    stalled delivery is released at the window's heal time, so the run
+    completes in bounded virtual (and wall) time."""
+    outcome = {}
+
+    def target():
+        try:
+            outcome["result"] = run_preset("network_partition", scale=0.25)
+        except BaseException as exc:  # noqa: BLE001 - report into the test
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout=60)
+    if thread.is_alive():
+        pytest.fail("network_partition mix did not finish within 60s")
+    assert "error" not in outcome, outcome.get("error")
+    mix_result = outcome["result"]
+    assert sum(r.partition_stall_seconds for r in mix_result.jobs) > 0
+    for res in mix_result.jobs:
+        assert res.steps > 0
+
+
+def test_no_shard_double_coverage_across_partition():
+    """A partition is a connectivity event, not a membership event: the
+    re-shard never assigns one sample to two nodes in any round, before,
+    during, or after the window."""
+    result = run_elastic(
+        "minato", _workload(), CONFIG_A, _partition_membership(),
+        gpus_per_node=GPUS, fabric="ring", epochs=3,
+    )
+    n = len(_workload().dataset)
+    for row, sizes, coverage in zip(
+        result.epoch_membership,
+        result.epoch_shard_sizes,
+        result.epoch_coverage,
+    ):
+        assert len(row) == len(set(row)), "node listed twice in a round"
+        # equal-length disjoint shards cover the dataset exactly once per
+        # epoch (wrap-around padding may re-read, but distinct coverage
+        # can never exceed the dataset)
+        assert coverage <= n
+        assert sum(sizes) >= n
+    # every epoch fully covered: the partition stalled traffic but lost
+    # no data
+    assert all(c == n for c in result.epoch_coverage)
+
+
+def test_partition_outcome_independent_of_kernel_config():
+    """Partition stalls are modelled timing, not scheduling accidents:
+    exact-heap and indexed-queue kernels agree bit-for-bit."""
+    kwargs = dict(
+        gpus_per_node=GPUS, fabric="ring", total_steps=2 * NODES * GPUS,
+    )
+    heap = run_elastic(
+        "minato", _workload(), CONFIG_A, _partition_membership(),
+        queue="heap", **kwargs,
+    )
+    indexed = run_elastic(
+        "minato", _workload(), CONFIG_A, _partition_membership(), **kwargs
+    )
+    fields_heap = dict(vars(heap))
+    fields_indexed = dict(vars(indexed))
+    for name in ("collapsed_collectives", "sim_events"):
+        fields_heap.pop(name)
+        fields_indexed.pop(name)
+    assert fields_heap == fields_indexed
+
+
+# ---------------------------------------------------------------------------
+# Barrier arrival accounting (a removed rank's past arrival must not count)
+# ---------------------------------------------------------------------------
+
+
+def test_barrier_removed_member_past_arrival_not_double_counted():
+    env = Environment()
+    barrier = _MemberBarrier(env)
+    barrier.set_members({"a", "b"})
+    done = []
+
+    def proc():
+        event = barrier.arrive("step0", "a")
+        barrier.remove("a")
+        # a's past arrival released step0 (b alone remains and has not
+        # arrived, but the member set no longer includes a)
+        assert not event.triggered
+        barrier.set_members({"a", "b"})
+        # re-adding a must NOT reuse its old arrival: a fresh key needs
+        # both members again
+        second = barrier.arrive("step1", "b")
+        assert not second.triggered
+        final = barrier.arrive("step1", "a")
+        assert final.triggered
+        done.append(True)
+        yield env.timeout(0)
+
+    env.process(proc())
+    env.run()
+    assert done
+
+
+def test_barrier_remove_releases_now_satisfied_steps():
+    env = Environment()
+    barrier = _MemberBarrier(env)
+    barrier.set_members({"a", "b"})
+    done = []
+
+    def proc():
+        event = barrier.arrive("step0", "a")
+        assert not event.triggered
+        barrier.remove("b")
+        assert event.triggered
+        done.append(True)
+        yield env.timeout(0)
+
+    env.process(proc())
+    env.run()
+    assert done
+
+
+# ---------------------------------------------------------------------------
+# Remote storage over the NIC
+# ---------------------------------------------------------------------------
+
+
+def test_storage_over_nic_adds_link_contention():
+    """Routing cache-miss reads over the NIC makes loader traffic and
+    collectives contend: the run gets slower and the collectives queue."""
+    def go(storage_over_nic):
+        cluster = _cluster(storage_over_nic=storage_over_nic)
+        result = JobMix([_spec(total_steps=4 * NODES * GPUS)], cluster).run()
+        nic_bytes = sum(
+            pipe.total_bytes
+            for pipe in cluster.topology._links.values()
+        )
+        return result.jobs[0], nic_bytes
+
+    local, local_nic_bytes = go(False)
+    remote, remote_nic_bytes = go(True)
+    assert remote.training_time > local.training_time
+    # the same collective traffic flows either way; the remote regime adds
+    # every cache-miss byte on top of it
+    assert remote_nic_bytes >= local_nic_bytes + remote.cache_miss_bytes
