@@ -123,3 +123,10 @@ def test_scenario_grid_shape():
     # the multi-tenant axis: at least one scenario runs a shared-cluster
     # job mix, so kernel cost under contention stays measured
     assert any(s.jobs > 1 for s in SCENARIOS)
+    # the checkpoint axis: at least one scenario prices snapshot writes
+    # plus a failure restore, and it must still measure the exact-path
+    # baseline so the kernels' agreement stays enforced under recovery
+    assert any(
+        s.checkpoint is not None and s.events and s.measure_baseline
+        for s in SCENARIOS
+    )

@@ -3,7 +3,7 @@
     python -m repro list                      # show available experiments
     python -m repro run fig7 [--scale 0.2]    # run one experiment
     python -m repro run all --output results/ # run everything, save reports
-    python -m repro distributed [--elastic]   # distributed scaling / churn
+    python -m repro distributed [--elastic [--checkpoint]]  # scaling / churn
     python -m repro bench [--profile]         # sim-kernel perf scenarios
     python -m repro report [--scale 0.2]      # (re)generate EXPERIMENTS.md
 """
@@ -56,14 +56,45 @@ def _cmd_distributed(args) -> int:
     churn/failure membership scenarios on the modelled ring fabric,
     ``--reshard`` picks the elastic re-shard policy (``locality`` keeps
     survivors on overlapping shard blocks so their page caches stay warm),
-    and ``--fabric`` / ``--overlap`` / ``--buckets`` run the
+    ``--fabric`` / ``--overlap`` / ``--buckets`` run the
     topology-overlap matrix ({flat, hierarchical} x {serial, overlap})
-    featuring the requested arm."""
+    featuring the requested arm, and ``--elastic --checkpoint`` runs the
+    checkpoint-interval economics experiment (``--checkpoint-interval`` /
+    ``--restore`` feature one arm with that exact policy)."""
     wants_overlap_matrix = (
         args.fabric is not None or args.overlap or args.buckets is not None
     )
     if args.reshard != "stride" and not args.elastic:
         print("--reshard applies to elastic runs; pass --elastic", file=sys.stderr)
+        return 2
+    if args.checkpoint and not args.elastic:
+        print(
+            "--checkpoint runs the elastic checkpoint experiment; "
+            "pass --elastic",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        args.checkpoint_interval is not None or args.restore is not None
+    ) and not args.checkpoint:
+        print(
+            "--checkpoint-interval/--restore require --checkpoint",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_interval is not None and args.checkpoint_interval < 1:
+        print(
+            f"--checkpoint-interval must be >= 1, got "
+            f"{args.checkpoint_interval}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint and args.reshard != "stride":
+        print(
+            "--reshard applies to the elastic churn experiment; it cannot "
+            "be combined with --checkpoint",
+            file=sys.stderr,
+        )
         return 2
     if wants_overlap_matrix and args.elastic:
         print(
@@ -75,7 +106,9 @@ def _cmd_distributed(args) -> int:
     if args.buckets is not None and args.buckets < 1:
         print(f"--buckets must be >= 1, got {args.buckets}", file=sys.stderr)
         return 2
-    if args.elastic:
+    if args.elastic and args.checkpoint:
+        experiment_id = "distributed_checkpoint"
+    elif args.elastic:
         experiment_id = "distributed_elastic"
     elif wants_overlap_matrix:
         experiment_id = "distributed_overlap"
@@ -85,8 +118,13 @@ def _cmd_distributed(args) -> int:
     kwargs = {}
     if args.scale is not None:
         kwargs["scale"] = args.scale
-    if args.elastic:
+    if experiment_id == "distributed_elastic":
         kwargs["reshard"] = args.reshard
+    if experiment_id == "distributed_checkpoint":
+        if args.checkpoint_interval is not None:
+            kwargs["interval"] = args.checkpoint_interval
+        if args.restore is not None:
+            kwargs["restore"] = args.restore
     if experiment_id == "distributed_overlap":
         kwargs["topology"] = args.fabric if args.fabric is not None else "flat"
         kwargs["overlap"] = args.overlap
@@ -217,6 +255,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "distributed", help="multi-node scaling / elastic-membership runs"
     )
     dist_parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help=(
+            "with --elastic: run the checkpoint-interval economics "
+            "experiment (snapshot writes on the storage pipes, restore "
+            "after a node failure)"
+        ),
+    )
+    dist_parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="K",
+        help="feature an arm snapshotting every K steps (requires --checkpoint)",
+    )
+    dist_parser.add_argument(
+        "--restore",
+        choices=["storage", "peer"],
+        default=None,
+        help=(
+            "feature an arm restoring from storage shards or a surviving "
+            "peer's stream (requires --checkpoint)"
+        ),
+    )
+    dist_parser.add_argument(
         "--elastic",
         action="store_true",
         help="run the elastic churn/failure scenarios on the ring fabric",
@@ -294,7 +357,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     scenarios_parser.add_argument(
         "--preset",
         default=None,
-        help="run one named preset mix (steady, burst, worker_failure, "
+        help="run one named preset mix (steady, burst, checkpoint_heavy, "
+        "worker_failure, "
         "network_partition) and print its per-tenant summary",
     )
     scenarios_parser.add_argument(

@@ -14,6 +14,7 @@ from typing import Callable, Dict
 from . import (
     ablations,
     artifact_e1,
+    checkpoint,
     distributed,
     fig1b,
     fig2,
@@ -52,6 +53,7 @@ REGISTRY: Dict[str, Callable[[], ExperimentReport]] = {
     "distributed": distributed.run,
     "distributed_elastic": distributed.run_elastic_experiment,
     "distributed_overlap": distributed.run_overlap_experiment,
+    "distributed_checkpoint": checkpoint.run,
     "scenarios": scenarios.run,
 }
 

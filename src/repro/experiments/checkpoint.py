@@ -1,0 +1,296 @@
+"""Checkpoint-interval economics under failure (extension).
+
+The classic tradeoff: frequent snapshots tax every step (synchronous
+writes through the node's storage pipe), rare snapshots inflate failure
+recovery (more lost steps to replay).  This experiment sweeps the
+snapshot interval for one elastic job under a fixed mid-run node
+failure and shows the total makespan is *non-monotone* in the interval
+-- a middle interval strictly beats both a much smaller and a much
+larger one -- then isolates each direction of the tradeoff and the two
+restore transports:
+
+* **sweep** -- intervals {1, 4, 16} steps plus no-checkpoint, one
+  time-anchored node failure: write seconds fall monotonically with the
+  interval while lost (replayed) steps rise, and the middle interval
+  wins on makespan;
+* **steady state** -- the same job without any failure: checkpointing
+  is pure overhead, priced by interval;
+* **storage vs peer restore** -- restore-from-storage re-reads the
+  snapshot through every survivor's storage pipe in parallel;
+  restore-from-peer streams the full state over one survivor's
+  NIC-class topology link (verified by the bytes landing on that link);
+* **co-tenant** -- the ``checkpoint_heavy`` scenario preset against the
+  same mix with checkpointing off: tenant-a's snapshot writes measurably
+  slow tenant-b, whose loader misses share the same storage pipes.
+
+The sweep geometry is fixed (32 steps/rank, failure at t=12) -- the
+U-shape needs the failure to land a known distance from the snapshot
+schedule, so ``scale`` only grows the budget beyond its floor and never
+shrinks it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from ..analysis import render_table
+from ..sim.checkpoint import CheckpointPolicy
+from ..sim.cluster import Cluster, ClusterMembership, MembershipEvent
+from ..sim.distributed import DistributedResult, run_elastic
+from ..sim.scenarios import PRESETS, JobSpec, JobMix
+from ..sim.workloads import CONFIG_A, make_workload
+from .common import ExperimentReport, default_scale
+
+__all__ = ["run", "main"]
+
+_NODES = 4
+_GPUS = 2
+_DATASET = 24
+#: fp32 master weights + two Adam moments over half-precision gradients
+_STATE_SCALE = 8.0
+_FAIL_TIME = 12.0
+_INTERVALS = (1, 4, 16)
+
+
+def _run_one(
+    policy: Optional[CheckpointPolicy],
+    steps_per_rank: int,
+    fail: bool = True,
+    cluster: Optional[Cluster] = None,
+) -> DistributedResult:
+    workload = make_workload(
+        "image_segmentation", seed=0, dataset_size=_DATASET
+    )
+    events = (
+        [MembershipEvent("fail", node=_NODES - 1, time=_FAIL_TIME)]
+        if fail
+        else []
+    )
+    return run_elastic(
+        "minato",
+        workload,
+        CONFIG_A,
+        ClusterMembership(_NODES, events) if cluster is None else None,
+        gpus_per_node=_GPUS,
+        fabric="ring",
+        total_steps=steps_per_rank * _NODES * _GPUS,
+        checkpoint=policy,
+        cluster=cluster,
+    )
+
+
+def run(
+    scale: Optional[float] = None,
+    interval: Optional[int] = None,
+    restore: Optional[str] = None,
+) -> ExperimentReport:
+    """Run the experiment; ``interval``/``restore`` (from the CLI's
+    ``--checkpoint-interval``/``--restore``) feature one extra arm with
+    that exact policy alongside the fixed sweep."""
+    scale = scale if scale is not None else default_scale()
+    featured = (
+        None
+        if interval is None and restore is None
+        else CheckpointPolicy(
+            interval_steps=interval if interval is not None else _INTERVALS[1],
+            restore=restore if restore is not None else "storage",
+            state_scale=_STATE_SCALE,
+        )
+    )
+    report = ExperimentReport(
+        experiment_id="distributed_checkpoint",
+        title="Extension: checkpoint-interval economics under failure",
+        scale=scale,
+    )
+    steps_per_rank = max(32, round(32 * scale))
+
+    # -- interval sweep under the failure schedule -------------------------
+    sweep: Dict[Optional[int], DistributedResult] = {}
+    rows = []
+    for interval in (None,) + _INTERVALS:
+        policy = (
+            None
+            if interval is None
+            else CheckpointPolicy(
+                interval_steps=interval, state_scale=_STATE_SCALE
+            )
+        )
+        res = _run_one(policy, steps_per_rank)
+        sweep[interval] = res
+        rows.append(
+            (
+                "none" if interval is None else str(interval),
+                f"{res.training_time:.2f}",
+                f"{res.checkpoint_write_seconds:.2f}",
+                f"{res.restore_seconds:.2f}",
+                res.lost_steps,
+                f"{res.checkpoint_bytes / 1e9:.1f}",
+            )
+        )
+    small, mid, large = _INTERVALS
+    report.check(
+        "write overhead falls monotonically with the interval",
+        sweep[small].checkpoint_write_seconds
+        > sweep[mid].checkpoint_write_seconds
+        > sweep[large].checkpoint_write_seconds
+        > 0.0,
+        detail=" > ".join(
+            f"K={k}: {sweep[k].checkpoint_write_seconds:.2f}s"
+            for k in _INTERVALS
+        ),
+    )
+    report.check(
+        "lost (replayed) steps rise with the interval",
+        sweep[small].lost_steps
+        <= sweep[mid].lost_steps
+        < sweep[large].lost_steps,
+        detail=", ".join(
+            f"K={k}: {sweep[k].lost_steps}" for k in _INTERVALS
+        ),
+    )
+    report.check(
+        f"tradeoff cuts both ways: K={mid} strictly beats K={small} "
+        f"(write-bound) and K={large} (replay-bound) on makespan",
+        sweep[mid].training_time < sweep[small].training_time
+        and sweep[mid].training_time < sweep[large].training_time,
+        detail=", ".join(
+            f"K={k}: {sweep[k].training_time:.2f}s" for k in _INTERVALS
+        ),
+    )
+    report.check(
+        "checkpointing is never free: every interval pays over the "
+        "no-checkpoint run",
+        all(
+            sweep[k].training_time > sweep[None].training_time
+            for k in _INTERVALS
+        ),
+        detail=f"no checkpoint: {sweep[None].training_time:.2f}s",
+    )
+
+    # -- steady state: no failure, checkpointing is pure overhead ----------
+    quiet_none = _run_one(None, steps_per_rank, fail=False)
+    quiet_small = _run_one(
+        CheckpointPolicy(interval_steps=small, state_scale=_STATE_SCALE),
+        steps_per_rank,
+        fail=False,
+    )
+    quiet_large = _run_one(
+        CheckpointPolicy(interval_steps=large, state_scale=_STATE_SCALE),
+        steps_per_rank,
+        fail=False,
+    )
+    report.check(
+        "steady state (no failure): overhead is monotone in snapshot "
+        "frequency",
+        quiet_small.training_time
+        > quiet_large.training_time
+        > quiet_none.training_time,
+        detail=(
+            f"K={small}: {quiet_small.training_time:.2f}s, "
+            f"K={large}: {quiet_large.training_time:.2f}s, "
+            f"none: {quiet_none.training_time:.2f}s"
+        ),
+    )
+
+    # -- storage vs peer restore ------------------------------------------
+    peer_cluster = Cluster(
+        ClusterMembership(
+            _NODES,
+            [MembershipEvent("fail", node=_NODES - 1, time=_FAIL_TIME)],
+        ),
+        CONFIG_A,
+        gpus_per_node=_GPUS,
+        topology="flat",
+    )
+    peer_policy = CheckpointPolicy(
+        interval_steps=mid, restore="peer", state_scale=_STATE_SCALE
+    )
+    peer_link = peer_cluster.peer_link(0)
+    link_bytes_before = peer_link.total_bytes
+    peer_res = _run_one(peer_policy, steps_per_rank, cluster=peer_cluster)
+    streamed = peer_link.total_bytes - link_bytes_before
+    state_bytes = peer_policy.state_bytes(400e6)
+    report.check(
+        "restore-from-peer streams the full state over the survivor's "
+        "topology link",
+        peer_res.restore_seconds > 0.0 and streamed >= state_bytes,
+        detail=(
+            f"{streamed / 1e9:.1f} GB on node 0's NIC link "
+            f"(state {state_bytes / 1e9:.1f} GB), restore "
+            f"{peer_res.restore_seconds:.2f}s"
+        ),
+    )
+
+    # -- co-tenant: snapshot writes slow a job that never asked for them --
+    heavy = PRESETS["checkpoint_heavy"](1.0).run()
+    control_mix = PRESETS["checkpoint_heavy"](1.0)
+    control = JobMix(
+        [
+            replace(spec, checkpoint=None)
+            if isinstance(spec, JobSpec)
+            else spec
+            for spec in control_mix.jobs
+        ],
+        control_mix.cluster,
+    ).run()
+    b_with = heavy.job("tenant-b")
+    b_without = control.job("tenant-b")
+    report.check(
+        "tenant-a's snapshot writes measurably slow co-tenant tenant-b "
+        "(same pipes, no policy of its own)",
+        heavy.per_job_makespan["tenant-b"]
+        > control.per_job_makespan["tenant-b"]
+        and b_with.storage_wait_seconds > b_without.storage_wait_seconds,
+        detail=(
+            f"makespan {heavy.per_job_makespan['tenant-b']:.2f}s vs "
+            f"{control.per_job_makespan['tenant-b']:.2f}s, storage wait "
+            f"{b_with.storage_wait_seconds:.2f}s vs "
+            f"{b_without.storage_wait_seconds:.2f}s"
+        ),
+    )
+
+    report.body = render_table(
+        [
+            "interval",
+            "makespan (s)",
+            "write (s)",
+            "restore (s)",
+            "lost steps",
+            "ckpt GB",
+        ],
+        rows,
+        title=(
+            f"minato/image_segmentation, {_NODES}x{_GPUS} ranks, "
+            f"{steps_per_rank} steps/rank, node {_NODES - 1} fails at "
+            f"t={_FAIL_TIME:g}s, state = {_STATE_SCALE:g} x gradient:"
+        ),
+    )
+    if featured is not None:
+        feat = _run_one(featured, steps_per_rank)
+        report.body += (
+            f"\n\nfeatured arm (--checkpoint-interval "
+            f"{featured.interval_steps} --restore {featured.restore}): "
+            f"makespan {feat.training_time:.2f}s, write "
+            f"{feat.checkpoint_write_seconds:.2f}s, restore "
+            f"{feat.restore_seconds:.2f}s, lost {feat.lost_steps} steps"
+        )
+        report.data["featured"] = feat
+
+    report.data["sweep"] = sweep
+    report.data["steady"] = {
+        None: quiet_none,
+        small: quiet_small,
+        large: quiet_large,
+    }
+    report.data["peer"] = peer_res
+    report.data["co_tenant"] = {"with": heavy, "without": control}
+    return report
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -148,6 +148,15 @@ def run(scale: Optional[float] = None) -> ExperimentReport:
         f"{stalled:.2f}s of deliveries stalled; all jobs completed",
     )
 
+    heavy = results["checkpoint_heavy"]
+    report.check(
+        "checkpoint_heavy: the snapshotting tenant pays measurable write "
+        "time and everyone still finishes",
+        heavy.checkpoint_write_seconds > 0
+        and all(res.steps > 0 for res in heavy.jobs),
+        f"{heavy.checkpoint_write_seconds:.2f}s of checkpoint writes",
+    )
+
     report.data = {
         name: {
             res.job_id: {

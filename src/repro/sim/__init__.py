@@ -7,6 +7,7 @@ workload specifications matching the paper's Table 1/Table 2
 (:mod:`repro.sim.loaders`) and the experiment runner (:mod:`repro.sim.runner`).
 """
 
+from .checkpoint import CheckpointPolicy
 from .cluster import Cluster, ClusterMembership, MembershipEvent, PartitionEvent
 from .fabric import RingFabric
 from .kernel import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
@@ -16,6 +17,7 @@ from .stores import PriorityStore, Store
 from .topology import FlatRing, Hierarchical, Topology
 
 __all__ = [
+    "CheckpointPolicy",
     "Cluster",
     "ClusterMembership",
     "MembershipEvent",

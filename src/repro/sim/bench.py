@@ -7,8 +7,8 @@ so every speed statement about the simulation kernel traces to a committed
 ``BENCH_kernel.json``.
 
 Each :class:`BenchScenario` is one distributed run (topology x serial/
-overlap x static/churn at 64 / 256 / 1000 ranks).  :func:`run_scenario`
-executes it twice:
+overlap x static/churn at 64 / 256 / 1000 ranks, plus a checkpointed
+failure-recovery run).  :func:`run_scenario` executes it twice:
 
 * **optimized** -- the default kernel: indexed event queue plus the
   homogeneous-rank collapsed fast path in the collective fabric;
@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 from typing import Union
 
+from .checkpoint import CheckpointPolicy
 from .cluster import Cluster
 from .distributed import (
     AllReduceModel,
@@ -106,6 +107,10 @@ class BenchScenario:
     #: the multi-tenant machinery (shared link pipes, namespaced caches,
     #: collapse forced off by sharing) at grid scale
     jobs: int = 1
+    #: checkpoint policy (None = no snapshots): the checkpoint scenario
+    #: keeps snapshot writes, failure restore, and lost-step replay on the
+    #: measured kernel-cost surface
+    checkpoint: Optional[CheckpointPolicy] = None
 
     @property
     def ranks(self) -> int:
@@ -139,6 +144,7 @@ class BenchScenario:
                     overlap=self.overlap,
                     buckets=self.buckets,
                     collapse=collapse,
+                    checkpoint=self.checkpoint,
                 )
                 for i in range(self.jobs)
             ]
@@ -186,6 +192,7 @@ class BenchScenario:
             cache_fraction=self.cache_fraction,
             collapse=collapse,
             queue=queue,
+            checkpoint=self.checkpoint,
         )
         return result, time.perf_counter() - started
 
@@ -210,6 +217,14 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
     # on the same link pipes, caches are namespaced, and sharing forces
     # the collapse off -- the multi-tenant machinery at benchmark scale
     BenchScenario("mix-two-job-64", "flat", False, nodes=16, jobs=2),
+    # checkpointing under a mid-run failure: snapshot writes on every
+    # node's storage pipe, a restore pass, and lost-step replay all land
+    # on the measured kernel-cost surface (both kernels must still agree)
+    BenchScenario("flat-serial-ckpt-64", "flat", False, nodes=16,
+                  steps_per_gpu=6,
+                  events=(MembershipEvent("fail", node=1, time=4.0),),
+                  checkpoint=CheckpointPolicy(
+                      interval_steps=2, state_scale=8.0)),
     BenchScenario("hier-serial-static-256", "hierarchical", False, nodes=64,
                   steps_per_gpu=8, workload="image_segmentation",
                   dataset_per_node=12, allreduce_latency=1e-4),
@@ -291,6 +306,7 @@ def run_scenario(scenario: BenchScenario) -> Dict[str, object]:
         "steps_per_gpu": scenario.steps_per_gpu,
         "jobs": scenario.jobs,
         "churn_events": len(scenario.events),
+        "checkpoint": scenario.checkpoint is not None,
         "virtual_seconds": _virtual_seconds(optimized),
         "steps": _step_total(optimized),
         "optimized": {

@@ -553,3 +553,11 @@ class Cluster:
         if not self.storage_over_nic:
             return None
         return self.topology.nic_link(node)
+
+    def peer_link(self, node: int):
+        """The NIC-class pipe ``node`` streams bulk peer-to-peer traffic
+        over -- a restore-from-peer checkpoint stream, for one.  It is the
+        same inter-scope link the node's rank-0 collective stream uses,
+        so a peer restore genuinely contends with collectives (and with
+        loader misses when ``storage_over_nic``)."""
+        return self.topology.nic_link(node)

@@ -75,6 +75,7 @@ from ..data.samplers import ShardAssignment, ShardedSampler
 from ..data.storage import CacheSnapshot
 from ..engine.metrics import average_utilization
 from ..errors import ConfigurationError
+from .checkpoint import CheckpointAccounting, CheckpointPolicy
 from .cluster import (
     DEFAULT_LINK_BANDWIDTH,
     DEFAULT_LINK_LATENCY,
@@ -98,6 +99,7 @@ from .workloads import HardwareConfig, WorkloadSpec
 
 __all__ = [
     "AllReduceModel",
+    "CheckpointPolicy",
     "Cluster",
     "ClusterMembership",
     "DistributedResult",
@@ -376,6 +378,19 @@ class DistributedResult:
     #: seconds of ring deliveries stalled by network partition windows
     #: (the fabric stalls-and-heals instead of aborting)
     partition_stall_seconds: float = 0.0
+    #: wall seconds ranks spent writing periodic state snapshots through
+    #: their nodes' storage pipes (pipe queueing included); 0.0 without a
+    #: :class:`~repro.sim.checkpoint.CheckpointPolicy`
+    checkpoint_write_seconds: float = 0.0
+    #: wall seconds of post-failure recovery: restore transfer (storage
+    #: re-read or peer stream) plus lost-step replay
+    restore_seconds: float = 0.0
+    #: optimizer steps lost to failures -- progress since the last
+    #: completed snapshot, re-executed during recovery (not re-counted
+    #: in ``steps``)
+    lost_steps: int = 0
+    #: snapshot bytes written through the storage pipes
+    checkpoint_bytes: float = 0.0
 
     @property
     def world_size(self) -> int:
@@ -428,7 +443,7 @@ class DistributedResult:
         dumping raw per-epoch lists."""
         gib = 1024.0 ** 3
         touched = self.cache_hit_bytes + self.cache_miss_bytes
-        return (
+        line = (
             f"{self.job_id}: {self.loader}/{self.workload} "
             f"[{self.fabric}/{self.topology}"
             f"{'/overlap' if self.overlap else ''}] "
@@ -444,6 +459,13 @@ class DistributedResult:
             f"links {self.link_wait_seconds:.2f}s "
             f"partition {self.partition_stall_seconds:.2f}s"
         )
+        if self.checkpoint_bytes or self.restore_seconds or self.lost_steps:
+            line += (
+                f" | ckpt: write {self.checkpoint_write_seconds:.2f}s "
+                f"restore {self.restore_seconds:.2f}s "
+                f"lost {self.lost_steps} steps"
+            )
+        return line
 
 
 # ---------------------------------------------------------------------------
@@ -470,6 +492,7 @@ def run_distributed(
     collapse: bool = True,
     queue: Optional[str] = None,
     cluster: Optional[Cluster] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
 ) -> DistributedResult:
     """Simulate data-parallel training across ``nodes`` machines.
 
@@ -553,6 +576,7 @@ def run_distributed(
         collapse=collapse,
         queue=queue,
         cluster=cluster,
+        checkpoint=checkpoint,
     )
 
 
@@ -582,6 +606,7 @@ def run_elastic(
     collapse: bool = True,
     queue: Optional[str] = None,
     cluster: Optional[Cluster] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
 ) -> DistributedResult:
     """Simulate elastic data-parallel training over a membership schedule.
 
@@ -660,6 +685,15 @@ def run_elastic(
     ``topology`` / ``hardware`` / ``gpus_per_node`` / ``cache_fraction``
     govern.  Without ``cluster`` a private one is built from these
     arguments -- byte-identical to the pre-refactor behaviour.
+
+    ``checkpoint`` attaches a
+    :class:`~repro.sim.checkpoint.CheckpointPolicy`: periodic replica
+    snapshots written through the nodes' storage pipes, restore (from
+    storage or a surviving peer) plus lost-step replay after every fail
+    event, reported via ``checkpoint_write_seconds`` /
+    ``restore_seconds`` / ``lost_steps`` / ``checkpoint_bytes``.  With
+    ``checkpoint=None`` the run is byte-identical to a checkpoint-less
+    build -- the policy is strictly pay-as-you-go.
     """
     job = _ElasticJob(
         loader_name,
@@ -682,6 +716,7 @@ def run_elastic(
         buckets=buckets,
         collapse=collapse,
         queue=queue,
+        checkpoint=checkpoint,
     )
     return job.execute()
 
@@ -750,6 +785,7 @@ class _ElasticJob:
         buckets: int = 1,
         collapse: bool = True,
         queue: Optional[str] = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
         job_id: str = "job0",
         arrival: float = 0.0,
         cache_namespace=None,
@@ -757,6 +793,12 @@ class _ElasticJob:
         validate_fabric(fabric)
         if arrival < 0:
             raise ConfigurationError(f"arrival must be >= 0, got {arrival!r}")
+        if checkpoint is not None and not isinstance(
+            checkpoint, CheckpointPolicy
+        ):
+            raise ConfigurationError(
+                f"checkpoint must be a CheckpointPolicy, got {checkpoint!r}"
+            )
         if cluster is None:
             if membership is None:
                 raise ConfigurationError(
@@ -842,6 +884,13 @@ class _ElasticJob:
         self.job_id = job_id
         self.arrival = arrival
         self.cache_namespace = cache_namespace
+        self.checkpoint = checkpoint
+        #: checkpoint bookkeeping; None exactly when no policy is attached
+        #: (every hook below is guarded, so the no-checkpoint path issues
+        #: zero extra kernel events -- equivalence-pinned)
+        self.ckpt: Optional[CheckpointAccounting] = (
+            CheckpointAccounting() if checkpoint is not None else None
+        )
         #: partitions need per-rank fidelity for the rounds they stall, and
         #: their windows are time-anchored (any round may be hit)
         self.collapse_requested = collapse and not membership.partitions
@@ -933,6 +982,8 @@ class _ElasticJob:
             rnd = self._begin_round()
             yield AllOf(self.env, rnd.all_procs)
             self._record_round(rnd)
+            if self.ckpt is not None and self.ckpt.pending_restore:
+                yield from self._recover()
         self.finished_at = self.env.now
 
     # -- round boundary ----------------------------------------------------
@@ -1380,10 +1431,103 @@ class _ElasticJob:
                             self.counters["exposed"] += (
                                 self.buckets * rnd.bucket_cost
                             )
+                if self.checkpoint is not None and gpu == 0:
+                    yield from self._maybe_snapshot(node)
             # ranks with a one-shorter budget must not stall the rest
             self._leave_sync(member)
         except Interrupt:
             return
+
+    # -- checkpoint/restore ------------------------------------------------
+
+    def _maybe_snapshot(self, node: int):
+        """Advance the node's replica-step clock; when the policy's
+        interval comes due, write the node's shard of the replica state
+        through its own storage pipe (and over the NIC when the cluster
+        routes storage there) -- queueing behind, and delaying, the same
+        traffic its loader misses pay.
+
+        A generator that yields nothing when no write is due, so a policy
+        that never fires adds zero kernel events.  The write is run by the
+        node's gpu-0 rank synchronously: its stall reaches every other
+        rank through the next collective, which is exactly the
+        steady-state overhead a frequent interval buys recovery time with.
+        An interrupt mid-write (the node's own death) propagates out of
+        the transfer, so a torn snapshot never advances the coverage
+        clocks.
+        """
+        ckpt = self.ckpt
+        clock = ckpt.node_clock.get(node, 0) + 1
+        ckpt.node_clock[node] = clock
+        last_step = ckpt.snapshot_step.get(node, 0)
+        last_time = ckpt.snapshot_time.get(node, self.started_at)
+        if not self.checkpoint.due(clock - last_step, self.env.now - last_time):
+            return
+        shard = self.checkpoint.state_bytes(
+            self.allreduce.gradient_bytes
+        ) / max(self._round.world_nodes, 1)
+        ctx = self.contexts[node]
+        entered = self.env.now
+        yield ctx.disk.transfer(shard)
+        if ctx.nic is not None:
+            yield ctx.nic.transfer(shard)
+        ckpt.write_seconds += self.env.now - entered
+        ckpt.bytes_written += shard
+        ckpt.snapshots += 1
+        ckpt.snapshot_step[node] = clock
+        ckpt.snapshot_time[node] = self.env.now
+
+    def _restore_read(self, node: int, nbytes: float):
+        """One survivor re-reading its shard of the snapshot through its
+        own storage pipe (restore-from-storage), NIC hop included when
+        storage is remote."""
+        yield self.contexts[node].disk.transfer(nbytes)
+        if self.contexts[node].nic is not None:
+            yield self.contexts[node].nic.transfer(nbytes)
+
+    def _recover(self):
+        """Post-failure recovery, between rounds: re-materialize the
+        replica state, then replay the steps lost since the last completed
+        snapshot, before the next round re-shards and spawns.
+
+        ``restore="storage"`` re-reads the snapshot in parallel, each
+        survivor pulling its (new) shard through its own storage pipe --
+        cheap and scalable, but it queues behind whatever the pipes
+        already carry.  ``restore="peer"`` streams the *full* state from
+        one survivor over its NIC-class topology link -- no storage round
+        trip, but a serial transfer on the link collectives use.  Replay
+        is compute-bound and runs in lockstep across survivors, so its
+        wall cost is lost steps x the per-step compute time, paid once.
+        Replayed steps are not re-counted in ``steps``; they surface as
+        ``lost_steps`` and recovery wall time.
+        """
+        ckpt = self.ckpt
+        ckpt.pending_restore = False
+        survivors = sorted(self.active)
+        if not survivors:
+            return
+        entered = self.env.now
+        state = self.checkpoint.state_bytes(self.allreduce.gradient_bytes)
+        if self.checkpoint.restore == "storage":
+            shard = state / len(survivors)
+            procs = [
+                self.env.process(self._restore_read(node, shard))
+                for node in survivors
+            ]
+            yield AllOf(self.env, procs)
+        else:
+            peer = survivors[0]
+            yield self.cluster.peer_link(peer).transfer(state)
+        ckpt.bytes_restored += state
+        ckpt.restores += 1
+        replay = ckpt.pending_replay
+        ckpt.pending_replay = 0
+        if replay > 0:
+            step = self.workload.model.step_time(
+                self.batch_size, self.hardware.gpu_type, world_size=1
+            )
+            yield self.env.timeout(replay * step)
+        ckpt.restore_seconds += self.env.now - entered
 
     def _kill_node(self, node: int) -> None:
         """Abrupt mid-epoch failure: interrupt, halt, abort."""
@@ -1392,6 +1536,14 @@ class _ElasticJob:
             return
         self.active.remove(node)
         self.deactivated_at[node] = self.env.now
+        if self.ckpt is not None:
+            # the dead node's un-snapshotted progress is gone: the replica
+            # rolls back to its last completed snapshot, and the survivors
+            # will restore + replay between rounds (see _recover)
+            lost = self.ckpt.lost_on(node)
+            self.ckpt.lost_steps += lost
+            self.ckpt.pending_replay = max(self.ckpt.pending_replay, lost)
+            self.ckpt.pending_restore = True
         loader = rnd.loaders.get(node)
         if loader is not None:
             loader.halt()
@@ -1533,5 +1685,15 @@ class _ElasticJob:
                 self.ring.partition_stall_seconds
                 if self.ring is not None
                 else 0.0
+            ),
+            checkpoint_write_seconds=(
+                self.ckpt.write_seconds if self.ckpt is not None else 0.0
+            ),
+            restore_seconds=(
+                self.ckpt.restore_seconds if self.ckpt is not None else 0.0
+            ),
+            lost_steps=self.ckpt.lost_steps if self.ckpt is not None else 0,
+            checkpoint_bytes=(
+                self.ckpt.bytes_written if self.ckpt is not None else 0.0
             ),
         )

@@ -36,6 +36,9 @@ class Request(Event):
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
+        #: set by :meth:`Resource.release`; a released request can never
+        #: free a slot again
+        self.released = False
 
     def __enter__(self) -> "Request":
         return self
@@ -56,6 +59,10 @@ class Resource:
         self.queue: deque = deque()
         #: optional callback(now, in_use) fired on every occupancy change
         self.on_change: Optional[Callable[[float, int], None]] = None
+        #: releases of an already-released request (each one a latent
+        #: double-free in the caller; a no-op here by design, but counted
+        #: so tests and audits can see them)
+        self.double_releases = 0
 
     @property
     def count(self) -> int:
@@ -77,16 +84,24 @@ class Resource:
         return event
 
     def release(self, request: Request) -> None:
-        """Release a granted request (no-op if it was never granted)."""
+        """Release a request: free its slot if granted, drop it from the
+        wait queue if still pending.
+
+        Releasing the same request twice (an explicit ``release`` followed
+        by the context manager's ``__exit__``) is a designed, *tracked*
+        no-op: after a slot has been handed to the next waiter, a second
+        release of the old request must never free that waiter's slot.
+        """
+        if request.released:
+            self.double_releases += 1
+            return
+        request.released = True
         try:
             self.users.remove(request)
         except ValueError:
             # Request still queued (context-manager exit after an interrupt):
             # drop it from the wait queue instead.
-            try:
-                self.queue.remove(request)
-            except ValueError:
-                pass
+            self.queue.remove(request)
             return
         while self.queue and len(self.users) < self.capacity:
             nxt = self.queue.popleft()
@@ -141,6 +156,12 @@ class BandwidthPipe:
         """Schedule a transfer; the returned event fires on completion."""
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes!r}")
+        if nbytes == 0:
+            # nothing enters the pipe (a no-delta incremental snapshot, an
+            # empty tail read): complete at ``now`` with no propagation
+            # delay and no accounting noise -- the watermark, counters, and
+            # transfer log describe bytes, and there are none
+            return self.env.timeout(0.0, value=0.0)
         start = max(self.env.now, self._available_at)
         # only the bytes occupy the pipe; latency is propagation delay on
         # top, so queued transfers overlap their latencies
@@ -194,4 +215,11 @@ class BandwidthPipe:
                         volume[i] += rate * (hi - lo)
             rate += delta
             prev = max(prev, t)
-        return [(i * bucket, v / bucket) for i, v in enumerate(volume)]
+        series: List[Tuple[float, float]] = []
+        for i, v in enumerate(volume):
+            # the final bucket only extends to the horizon, not the full
+            # bucket width: normalize by the width actually covered, or the
+            # tail throughput is systematically underreported
+            width = min(horizon, (i + 1) * bucket) - i * bucket
+            series.append((i * bucket, v / width if width > 0 else 0.0))
+        return series

@@ -28,6 +28,10 @@ kernel-equivalence suite.
   its rounds slow down as the links fill;
 * ``worker_failure`` -- a node dies mid-round under a two-job mix; both
   jobs' fabrics detect and re-shard independently;
+* ``checkpoint_heavy`` -- worker_failure plus checkpoint economics: one
+  tenant snapshots aggressively through the shared storage pipes (slowing
+  its co-tenant's loader misses) and pays restore + replay when the node
+  dies;
 * ``network_partition`` -- a transient reachability split stalls every
   cross-cut ring delivery, then heals; the fabric recovers, never aborts.
 """
@@ -38,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
+from .checkpoint import CheckpointPolicy
 from .cluster import (
     Cluster,
     ClusterMembership,
@@ -92,6 +97,9 @@ class JobSpec:
     overlap: bool = False
     buckets: int = 1
     collapse: bool = True
+    #: periodic state snapshots + failure restore/replay for this tenant
+    #: (None: state recovery stays free, the pre-checkpoint behaviour)
+    checkpoint: Optional[CheckpointPolicy] = None
 
 
 class JobMix:
@@ -157,6 +165,7 @@ class JobMix:
                 overlap=spec.overlap,
                 buckets=spec.buckets,
                 collapse=spec.collapse,
+                checkpoint=spec.checkpoint,
                 job_id=spec.job_id,
                 arrival=spec.arrival,
                 cache_namespace=spec.job_id if shared else None,
@@ -216,6 +225,17 @@ class MixResult:
         """Total seconds the mix's jobs spent queueing on shared transport
         (storage pipes, collective links, partition stalls)."""
         return sum(res.link_contention_seconds for res in self.jobs)
+
+    @property
+    def checkpoint_write_seconds(self) -> float:
+        """Total snapshot-write seconds across tenants (per-tenant values
+        on each job's result)."""
+        return sum(res.checkpoint_write_seconds for res in self.jobs)
+
+    @property
+    def restore_seconds(self) -> float:
+        """Total post-failure recovery seconds across tenants."""
+        return sum(res.restore_seconds for res in self.jobs)
 
     def summary(self) -> str:
         lines = [res.summary() for res in self.jobs]
@@ -316,6 +336,50 @@ def preset_worker_failure(scale: float = 1.0) -> JobMix:
     )
 
 
+def preset_checkpoint_heavy(scale: float = 1.0) -> JobMix:
+    """``worker_failure`` with checkpoint economics: tenant-a snapshots
+    its replica state every step through the shared per-node storage
+    pipes, so tenant-b's loader misses queue behind snapshot bursts --
+    checkpoint traffic measurably slows a co-tenant that never asked for
+    it.  When the node dies, tenant-a restores from storage and replays;
+    tenant-b (no policy) re-shards for free, exactly as before.
+
+    tenant-a carries heavy optimizer state (``state_scale=8``: fp32
+    master weights plus two Adam moments over half-precision gradients)
+    and the cluster's page cache is deliberately undersized, so
+    tenant-b's synchronous loader keeps missing to storage throughout the
+    run instead of only during warmup -- the configuration where snapshot
+    traffic and a co-tenant's reads genuinely fight over the same pipe.
+    """
+    membership = ClusterMembership(
+        _NODES,
+        events=(
+            MembershipEvent("fail", node=_NODES - 1, epoch=0, after=1.0),
+        ),
+    )
+    cluster = Cluster(
+        membership,
+        CONFIG_A,
+        gpus_per_node=_GPUS,
+        topology="flat",
+        cache_fraction=0.002,
+    )
+    return JobMix(
+        [
+            _job(
+                "tenant-a",
+                "minato",
+                scale,
+                checkpoint=CheckpointPolicy(
+                    interval_steps=1, state_scale=8.0
+                ),
+            ),
+            _job("tenant-b", "pytorch", scale),
+        ],
+        cluster,
+    )
+
+
 def preset_network_partition(scale: float = 1.0) -> JobMix:
     """A transient reachability split cuts half the cluster off for a
     window, then heals.  Ring deliveries crossing the cut stall (reported
@@ -339,6 +403,7 @@ PRESETS = {
     "steady": preset_steady,
     "burst": preset_burst,
     "worker_failure": preset_worker_failure,
+    "checkpoint_heavy": preset_checkpoint_heavy,
     "network_partition": preset_network_partition,
 }
 

@@ -46,6 +46,82 @@ def test_cli_distributed_elastic_reshard_locality(capsys):
     assert "MISS" not in out
 
 
+def test_cli_distributed_elastic_checkpoint(capsys):
+    """`python -m repro distributed --elastic --checkpoint` runs the
+    checkpoint-interval economics experiment and its tradeoff checks
+    (middle interval strictly beats both extremes under the failure)
+    pass."""
+    assert main(["distributed", "--elastic", "--checkpoint"]) == 0
+    out = capsys.readouterr().out
+    assert "distributed_checkpoint" in out
+    assert "tradeoff cuts both ways" in out
+    assert "MISS" not in out
+
+
+def test_cli_distributed_checkpoint_featured_arm(capsys):
+    assert (
+        main(
+            [
+                "distributed",
+                "--elastic",
+                "--checkpoint",
+                "--checkpoint-interval",
+                "8",
+                "--restore",
+                "peer",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "featured arm (--checkpoint-interval 8 --restore peer)" in out
+    assert "MISS" not in out
+
+
+def test_cli_checkpoint_requires_elastic(capsys):
+    assert main(["distributed", "--checkpoint"]) == 2
+    err = capsys.readouterr().err
+    assert "--elastic" in err
+
+
+def test_cli_checkpoint_flags_require_checkpoint(capsys):
+    assert main(["distributed", "--elastic", "--checkpoint-interval", "4"]) == 2
+    assert "--checkpoint" in capsys.readouterr().err
+    assert main(["distributed", "--elastic", "--restore", "peer"]) == 2
+    assert "--checkpoint" in capsys.readouterr().err
+
+
+def test_cli_checkpoint_rejects_non_positive_interval(capsys):
+    assert (
+        main(
+            [
+                "distributed",
+                "--elastic",
+                "--checkpoint",
+                "--checkpoint-interval",
+                "0",
+            ]
+        )
+        == 2
+    )
+    assert ">= 1" in capsys.readouterr().err
+
+
+def test_cli_checkpoint_rejects_reshard(capsys):
+    assert (
+        main(
+            ["distributed", "--elastic", "--checkpoint", "--reshard", "locality"]
+        )
+        == 2
+    )
+    assert "--checkpoint" in capsys.readouterr().err
+
+
+def test_cli_checkpoint_rejects_unknown_restore():
+    with pytest.raises(SystemExit):
+        main(["distributed", "--elastic", "--checkpoint", "--restore", "dvd"])
+
+
 def test_cli_distributed_overlap_matrix(capsys):
     """`python -m repro distributed --fabric hierarchical --overlap` (the
     acceptance command) runs the {flat, hierarchical} x {serial, overlap}

@@ -34,6 +34,7 @@ def test_registry_covers_every_paper_artifact():
         "distributed",
         "distributed_elastic",
         "distributed_overlap",
+        "distributed_checkpoint",
         "scenarios",
     }
 

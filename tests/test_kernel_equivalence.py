@@ -21,6 +21,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.sim.checkpoint import CheckpointPolicy
 from repro.sim.cluster import Cluster
 from repro.sim.distributed import (
     ClusterMembership,
@@ -52,6 +53,7 @@ def run(
     queue=None,
     node_hardware=None,
     cache_fraction=1.0,
+    checkpoint=None,
 ):
     workload = make_workload(
         "image_segmentation", seed=0, dataset_size=6 * NODES
@@ -72,6 +74,7 @@ def run(
         cache_fraction=cache_fraction,
         collapse=collapse,
         queue=queue,
+        checkpoint=checkpoint,
     )
 
 
@@ -136,6 +139,57 @@ def test_single_job_mix_matches_run_elastic(topology, overlap, churn):
         f"single-job mix diverged from run_elastic"
     )
     assert mix.makespan == direct.training_time
+
+
+@pytest.mark.parametrize("queue", [None, "heap"], ids=["indexed", "heap"])
+@pytest.mark.parametrize("churn", ["static", "churn"])
+def test_dormant_checkpoint_policy_adds_zero_kernel_events(churn, queue):
+    """``checkpoint=None`` and a never-firing policy must be
+    indistinguishable to the kernel: identical results INCLUDING
+    ``sim_events`` -- the pay-as-you-go guarantee that the checkpoint
+    subsystem costs nothing (not one event) until a snapshot or restore
+    actually happens.  (Fail cells are excluded by design: a node death
+    triggers a restore pass, which is the subsystem *working*.)"""
+    events = CHURN[churn]
+    plain = run("flat", False, events, queue=queue)
+    dormant = run(
+        "flat",
+        False,
+        events,
+        queue=queue,
+        checkpoint=CheckpointPolicy(interval_steps=10**9),
+    )
+    assert vars(dormant) == vars(plain), (
+        f"{churn}/queue={queue}: a dormant checkpoint policy perturbed "
+        f"the run"
+    )
+    assert plain.checkpoint_write_seconds == 0.0
+    assert plain.restore_seconds == 0.0
+    assert plain.lost_steps == 0
+    assert plain.checkpoint_bytes == 0.0
+
+
+@pytest.mark.parametrize("churn", sorted(CHURN))
+def test_kernel_configurations_agree_with_active_checkpoint(churn):
+    """Snapshot writes and failure restores ride the same pipes as every
+    other transfer, so an *active* checkpoint run must also be
+    bit-identical across kernel configurations."""
+    policy = CheckpointPolicy(interval_steps=2, state_scale=8.0)
+    events = CHURN[churn]
+    legacy = run(
+        "flat", False, events, collapse=False, queue="heap", checkpoint=policy
+    )
+    reference = comparable(legacy)
+    assert legacy.checkpoint_write_seconds > 0.0
+    for collapse, queue in ((True, None), (True, "heap"), (False, None)):
+        candidate = run(
+            "flat", False, events,
+            collapse=collapse, queue=queue, checkpoint=policy,
+        )
+        assert comparable(candidate) == reference, (
+            f"{churn}: collapse={collapse} queue={queue} diverged from "
+            f"exact heap with checkpointing active"
+        )
 
 
 @st.composite

@@ -275,6 +275,28 @@ def test_resource_release_unqueued_request_is_noop():
     assert not res.queue
 
 
+def test_resource_double_release_is_tracked_noop():
+    """Regression: a second release of the same granted request used to
+    fall through the ValueError fallback silently -- masking real
+    double-frees.  It is now a no-op *by design*: the slot already handed
+    to the next waiter must not be freed again, and the incident is
+    counted in ``double_releases``."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    with res.request() as req_a:
+        req_b = res.request()  # queued behind a
+        res.release(req_a)  # explicit release: slot passes to b
+        assert res.users == [req_b]
+        # context-manager __exit__ now releases req_a a second time
+    assert res.double_releases == 1
+    # b still holds its slot -- the double release freed nothing
+    assert res.users == [req_b]
+    assert res.count == 1
+    res.release(req_b)
+    assert res.count == 0
+    assert res.double_releases == 1
+
+
 # ---------------------------------------------------------------------------
 # BandwidthPipe
 # ---------------------------------------------------------------------------
@@ -401,6 +423,9 @@ def test_bandwidth_pipe_queued_readers_overlap_latency():
 
 
 def test_bandwidth_pipe_latency_only_readers_complete_together():
+    """Zero-byte transfers put nothing on the wire: they complete at
+    ``now`` -- no propagation latency, no serialization -- regardless of
+    how many are issued concurrently."""
     env = Environment()
     pipe = BandwidthPipe(env, bandwidth=1e9, latency=0.5)
     done = []
@@ -412,7 +437,33 @@ def test_bandwidth_pipe_latency_only_readers_complete_together():
     for _ in range(5):
         env.process(reader())
     env.run()
-    assert done == [pytest.approx(0.5)] * 5
+    assert done == [0.0] * 5
+
+
+def test_bandwidth_pipe_zero_byte_transfer_is_free_and_unaccounted():
+    """Regression: ``transfer(0)`` used to pay full latency, bump
+    ``transfer_count``, and append to the transfer log.  A no-delta
+    incremental snapshot must complete immediately and leave the pipe's
+    watermark and all accounting untouched."""
+    env = Environment()
+    pipe = BandwidthPipe(env, bandwidth=10.0, latency=0.25)
+    done = []
+
+    def reader():
+        yield pipe.transfer(50)  # occupy the pipe: watermark moves to 5.0
+        yield pipe.transfer(0)
+        done.append(env.now)
+
+    env.process(reader())
+    env.run()
+    # the watermark reflects only the 50-byte read; the zero-byte transfer
+    # completed the instant it was issued (right after the read finished
+    # at 5.25), paying no latency and touching no accounting
+    assert pipe._available_at == pytest.approx(5.0)
+    assert done == [pytest.approx(5.25)]
+    assert pipe.total_bytes == 50.0
+    assert pipe.transfer_count == 1
+    assert len(pipe.transfers) == 1
 
 
 def test_bandwidth_pipe_throughput_series_matches_quadratic_reference():
@@ -440,7 +491,11 @@ def test_bandwidth_pipe_throughput_series_matches_quadratic_reference():
                 lo, hi = max(start, i * bucket), min(finish, (i + 1) * bucket)
                 if hi > lo:
                     volume[i] += rate * (hi - lo)
-        return [(i * bucket, v / bucket) for i, v in enumerate(volume)]
+        series = []
+        for i, v in enumerate(volume):
+            width = min(horizon, (i + 1) * bucket) - i * bucket
+            series.append((i * bucket, v / width if width > 0 else 0.0))
+        return series
 
     for bucket in (0.25, 1.0, 3.0):
         series = pipe.throughput_series(bucket=bucket)
@@ -449,5 +504,31 @@ def test_bandwidth_pipe_throughput_series_matches_quadratic_reference():
         for (t_got, rate_got), (t_want, rate_want) in zip(series, expected):
             assert t_got == pytest.approx(t_want)
             assert rate_got == pytest.approx(rate_want)
-    total = sum(rate * 0.25 for _t, rate in pipe.throughput_series(bucket=0.25))
+    # volume conservation: rate x actual covered width sums to the bytes
+    # transferred (the tail bucket is narrower than the nominal width)
+    bucket = 0.25
+    horizon = max(finish for _s, finish, _n in pipe.transfers)
+    total = sum(
+        rate * (min(horizon, t + bucket) - t)
+        for t, rate in pipe.throughput_series(bucket=bucket)
+    )
     assert total == pytest.approx(20 + 4 + 9 + 31)
+
+
+def test_bandwidth_pipe_throughput_series_partial_tail_bucket():
+    """Regression: the final bucket's volume was divided by the full
+    bucket width even when the run ends mid-bucket, systematically
+    underreporting tail throughput.  A transfer draining at a steady
+    10 B/s that ends 40% into the last bucket must still report 10 B/s
+    there, not 4 B/s."""
+    env = Environment()
+    disk = BandwidthPipe(env, bandwidth=10.0)
+
+    def reader():
+        yield disk.transfer(24)  # drains over [0, 2.4] at 10 B/s
+
+    env.process(reader())
+    env.run()
+    series = disk.throughput_series(bucket=1.0)
+    assert [t for t, _rate in series] == [0.0, 1.0, 2.0]
+    assert [rate for _t, rate in series] == pytest.approx([10.0, 10.0, 10.0])
