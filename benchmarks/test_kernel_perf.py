@@ -130,3 +130,15 @@ def test_scenario_grid_shape():
         s.checkpoint is not None and s.events and s.measure_baseline
         for s in SCENARIOS
     )
+    # the cross-class contention axis: loader misses and checkpoint writes
+    # sharing the NIC with hierarchical overlapped collectives, with the
+    # baseline measured so the shared-link flow engine stays agreement-
+    # checked under contention
+    assert any(
+        s.storage_over_nic
+        and s.topology == "hierarchical"
+        and s.overlap
+        and s.checkpoint is not None
+        and s.measure_baseline
+        for s in SCENARIOS
+    )

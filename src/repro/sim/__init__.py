@@ -11,6 +11,7 @@ from .checkpoint import CheckpointPolicy
 from .cluster import Cluster, ClusterMembership, MembershipEvent, PartitionEvent
 from .fabric import RingFabric
 from .kernel import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
+from .links import SharedLink, Stream
 from .resources import BandwidthPipe, Request, Resource
 from .scenarios import PRESETS, JobMix, JobSpec, MixResult, run_preset
 from .stores import PriorityStore, Store
@@ -43,4 +44,6 @@ __all__ = [
     "Resource",
     "Request",
     "BandwidthPipe",
+    "SharedLink",
+    "Stream",
 ]

@@ -59,8 +59,15 @@ __all__ = [
 ]
 
 #: result fields that legitimately differ between baseline and optimized
-#: runs (observability of the optimizations themselves, never timing)
-OBSERVABILITY_FIELDS = ("collapsed_collectives", "sim_events")
+#: runs (observability of the optimizations themselves, never timing):
+#: the collapse counters exist only when the collapse is armed, and the
+#: cross-class veto counter records collapse *attempts*, which the
+#: baseline never makes
+OBSERVABILITY_FIELDS = (
+    "collapsed_collectives",
+    "sim_events",
+    "collapse_cross_vetoes",
+)
 
 
 @dataclass(frozen=True)
@@ -111,6 +118,11 @@ class BenchScenario:
     #: keeps snapshot writes, failure restore, and lost-step replay on the
     #: measured kernel-cost surface
     checkpoint: Optional[CheckpointPolicy] = None
+    #: route cache-miss loader reads and checkpoint writes over the nodes'
+    #: NIC links, contending max-min fair with collective streams -- the
+    #: remote-filesystem regime; exercises the shared-link flow engine and
+    #: the collapse's cross-class traffic veto at benchmark scale
+    storage_over_nic: bool = False
 
     @property
     def ranks(self) -> int:
@@ -162,6 +174,7 @@ class BenchScenario:
                         if self.allreduce_latency is not None
                         else AllReduceModel().latency
                     ),
+                    storage_over_nic=self.storage_over_nic,
                     queue=queue,
                 ),
             )
@@ -174,6 +187,26 @@ class BenchScenario:
             if self.allreduce_latency is not None
             else None
         )
+        cluster = None
+        if self.storage_over_nic:
+            # the remote-storage regime needs an explicit cluster (it owns
+            # the flag); the default path keeps the private construction so
+            # the classic scenarios stay byte-identical
+            cluster = Cluster(
+                membership,
+                HARDWARE[self.hardware],
+                gpus_per_node=self.gpus_per_node,
+                cache_fraction=self.cache_fraction,
+                topology=self.topology,
+                link_latency=(
+                    self.allreduce_latency
+                    if self.allreduce_latency is not None
+                    else AllReduceModel().latency
+                ),
+                storage_over_nic=True,
+                queue=queue,
+            )
+            allreduce, queue = None, None
         started = time.perf_counter()
         result = run_elastic(
             "minato",
@@ -192,6 +225,7 @@ class BenchScenario:
             cache_fraction=self.cache_fraction,
             collapse=collapse,
             queue=queue,
+            cluster=cluster,
             checkpoint=self.checkpoint,
         )
         return result, time.perf_counter() - started
@@ -223,6 +257,17 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
     BenchScenario("flat-serial-ckpt-64", "flat", False, nodes=16,
                   steps_per_gpu=6,
                   events=(MembershipEvent("fail", node=1, time=4.0),),
+                  checkpoint=CheckpointPolicy(
+                      interval_steps=2, state_scale=8.0)),
+    # everything on the NIC at once: hierarchical overlap with remote
+    # storage, so loader cache misses and periodic checkpoint writes share
+    # each node's NIC link with the bucket collectives (max-min fair flow
+    # engine under genuine cross-class contention, collapse vetoed while
+    # foreign traffic is in flight -- both kernels must still agree)
+    BenchScenario("contended-64", "hierarchical", True, nodes=16,
+                  buckets=4, steps_per_gpu=6, cache_fraction=0.6,
+                  workload="image_segmentation", dataset_per_node=12,
+                  allreduce_latency=1e-4, storage_over_nic=True,
                   checkpoint=CheckpointPolicy(
                       interval_steps=2, state_scale=8.0)),
     BenchScenario("hier-serial-static-256", "hierarchical", False, nodes=64,

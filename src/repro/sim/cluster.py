@@ -547,17 +547,39 @@ class Cluster:
             ),
         )
 
-    def loader_nic(self, node: int):
-        """The pipe a node's loader misses traverse when storage is remote
-        (``storage_over_nic``); None when loader traffic stays off-NIC."""
+    def loader_nic(self, node: int, tenant=None, sink=None):
+        """The loader-class stream a node's cache misses traverse when
+        storage is remote (``storage_over_nic``); None when loader traffic
+        stays off-NIC.  One stream per (tenant, node): tenants' miss
+        traffic contends max-min fair on the node's shared NIC link with
+        each other and with collective/checkpoint streams, while staying
+        separately attributed."""
         if not self.storage_over_nic:
             return None
-        return self.topology.nic_link(node)
+        return self.topology.nic_link(node).stream(
+            (tenant, node, "loader"), "loader", sink
+        )
+
+    def checkpoint_nic(self, node: int, tenant=None, sink=None):
+        """The checkpoint-class stream a node's snapshot writes traverse
+        when storage is remote (``storage_over_nic``); None otherwise."""
+        if not self.storage_over_nic:
+            return None
+        return self.topology.nic_link(node).stream(
+            (tenant, node, "checkpoint"), "checkpoint", sink
+        )
 
     def peer_link(self, node: int):
-        """The NIC-class pipe ``node`` streams bulk peer-to-peer traffic
+        """The shared NIC link ``node`` streams bulk peer-to-peer traffic
         over -- a restore-from-peer checkpoint stream, for one.  It is the
-        same inter-scope link the node's rank-0 collective stream uses,
-        so a peer restore genuinely contends with collectives (and with
-        loader misses when ``storage_over_nic``)."""
+        same inter-scope link the node's collective streams use, so a peer
+        restore genuinely contends with collectives (and with loader
+        misses when ``storage_over_nic``)."""
         return self.topology.nic_link(node)
+
+    def peer_stream(self, node: int, tenant=None, sink=None):
+        """A checkpoint-class stream on ``node``'s NIC link for bulk
+        peer-to-peer state transfer (restore-from-peer)."""
+        return self.peer_link(node).stream(
+            (tenant, node, "peer"), "checkpoint", sink
+        )

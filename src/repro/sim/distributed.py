@@ -375,6 +375,16 @@ class DistributedResult:
     #: their links before starting (ring fabric; cross-job link contention
     #: on a shared cluster)
     link_wait_seconds: float = 0.0
+    #: completion-attributed link wait per traffic class
+    #: (``collective`` / ``loader`` / ``checkpoint``): own-stream queueing
+    #: plus fair-sharing slowdown versus an idle link, summed over this
+    #: job's streams on the shared-link layer.  Empty when the job never
+    #: opened a stream of any class.
+    link_wait_by_class: Dict[str, float] = field(default_factory=dict)
+    #: homogeneous-rank collapse attempts vetoed because loader/checkpoint
+    #: cross-class traffic was in flight on a link the collective needed
+    #: (observability, like ``collapsed_collectives``)
+    collapse_cross_vetoes: int = 0
     #: seconds of ring deliveries stalled by network partition windows
     #: (the fabric stalls-and-heals instead of aborting)
     partition_stall_seconds: float = 0.0
@@ -459,6 +469,14 @@ class DistributedResult:
             f"links {self.link_wait_seconds:.2f}s "
             f"partition {self.partition_stall_seconds:.2f}s"
         )
+        if self.link_wait_by_class:
+            by_class = self.link_wait_by_class
+            line += (
+                " | link wait: coll "
+                f"{by_class.get('collective', 0.0):.2f}s "
+                f"loader {by_class.get('loader', 0.0):.2f}s "
+                f"ckpt {by_class.get('checkpoint', 0.0):.2f}s"
+            )
         if self.checkpoint_bytes or self.restore_seconds or self.lost_steps:
             line += (
                 f" | ckpt: write {self.checkpoint_write_seconds:.2f}s "
@@ -923,6 +941,11 @@ class _ElasticJob:
         # per-sample cost memos
         self.template = make_sim_loader(loader_name, **base_kwargs)
 
+        #: this job's completion-attributed per-class link wait: the sink
+        #: shared by its loader / checkpoint streams; merged with the ring
+        #: fabric's collective-class sink in :meth:`result`
+        self.link_wait_by_class: Dict[str, float] = {}
+
         self.active: List[int] = list(range(membership.initial_nodes))
         self.samplers: Dict[int, ShardedSampler] = {}
         self.contexts: Dict[int, SimContext] = {}
@@ -1084,7 +1107,13 @@ class _ElasticJob:
                     # per-job -- tenants get disjoint GPU allocations
                     record_transfers=False,
                     site=self.cluster.site(node),
-                    nic=self.cluster.loader_nic(node),
+                    # loader-class stream on the node's shared NIC link
+                    # (None when storage stays off-NIC): this job's miss
+                    # traffic contends fluidly with collectives and other
+                    # tenants, attributed into its per-class wait sink
+                    nic=self.cluster.loader_nic(
+                        node, tenant=self.job_id, sink=self.link_wait_by_class
+                    ),
                     cache_namespace=self.cache_namespace,
                 )
                 self.activated_at[node] = boundary_now
@@ -1469,8 +1498,11 @@ class _ElasticJob:
         ctx = self.contexts[node]
         entered = self.env.now
         yield ctx.disk.transfer(shard)
-        if ctx.nic is not None:
-            yield ctx.nic.transfer(shard)
+        nic = self.cluster.checkpoint_nic(
+            node, tenant=self.job_id, sink=self.link_wait_by_class
+        )
+        if nic is not None:
+            yield nic.transfer(shard)
         ckpt.write_seconds += self.env.now - entered
         ckpt.bytes_written += shard
         ckpt.snapshots += 1
@@ -1479,11 +1511,14 @@ class _ElasticJob:
 
     def _restore_read(self, node: int, nbytes: float):
         """One survivor re-reading its shard of the snapshot through its
-        own storage pipe (restore-from-storage), NIC hop included when
-        storage is remote."""
+        own storage pipe (restore-from-storage), checkpoint-class NIC
+        stream included when storage is remote."""
         yield self.contexts[node].disk.transfer(nbytes)
-        if self.contexts[node].nic is not None:
-            yield self.contexts[node].nic.transfer(nbytes)
+        nic = self.cluster.checkpoint_nic(
+            node, tenant=self.job_id, sink=self.link_wait_by_class
+        )
+        if nic is not None:
+            yield nic.transfer(nbytes)
 
     def _recover(self):
         """Post-failure recovery, between rounds: re-materialize the
@@ -1517,7 +1552,9 @@ class _ElasticJob:
             yield AllOf(self.env, procs)
         else:
             peer = survivors[0]
-            yield self.cluster.peer_link(peer).transfer(state)
+            yield self.cluster.peer_stream(
+                peer, tenant=self.job_id, sink=self.link_wait_by_class
+            ).transfer(state)
         ckpt.bytes_restored += state
         ckpt.restores += 1
         replay = ckpt.pending_replay
@@ -1582,6 +1619,16 @@ class _ElasticJob:
         self._kill_node(event.node)
 
     # -- aggregation -------------------------------------------------------
+
+    def _merged_link_wait(self) -> Dict[str, float]:
+        """This job's per-class link wait: the ring fabric's collective
+        sink merged with the loader/checkpoint sink the job's own streams
+        fill (keys are disjoint by construction; copy so the result is
+        detached from live accumulators)."""
+        merged = dict(self.link_wait_by_class)
+        if self.ring is not None:
+            merged.update(self.ring.link_wait_by_class)
+        return merged
 
     def result(self) -> DistributedResult:
         duration = (
@@ -1680,6 +1727,10 @@ class _ElasticJob:
             ),
             link_wait_seconds=(
                 self.ring.link_wait_seconds if self.ring is not None else 0.0
+            ),
+            link_wait_by_class=self._merged_link_wait(),
+            collapse_cross_vetoes=(
+                self.ring.collapse_cross_vetoes if self.ring is not None else 0
             ),
             partition_stall_seconds=(
                 self.ring.partition_stall_seconds

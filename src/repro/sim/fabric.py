@@ -8,11 +8,15 @@ the links a :class:`~repro.sim.topology.Topology` owns.
 
 The stack has three layers:
 
-* **topology** (:mod:`repro.sim.topology`): owns per-link
-  :class:`~repro.sim.resources.BandwidthPipe` s and plans which ring
+* **topology** (:mod:`repro.sim.topology`): owns the
+  :class:`~repro.sim.links.SharedLink` s and plans which ring
   phases one all-reduce traverses (:class:`~repro.sim.topology.FlatRing`:
   one world-wide ring; :class:`~repro.sim.topology.Hierarchical`:
   intra-node reduce -> inter-node ring all-reduce -> intra-node broadcast);
+  each fabric member sends on its own collective-class
+  :class:`~repro.sim.links.Stream`, contending max-min fair with whatever
+  other streams (other members, other tenants, loader misses, checkpoint
+  writes) share the physical link;
 * **collectives** (this module): composable ring primitives --
   :meth:`RingFabric.reduce_scatter` and :meth:`RingFabric.all_gather`, each
   ``W - 1`` ring stages of ``nbytes / W`` chunks -- with
@@ -193,6 +197,16 @@ class RingFabric:
         #: their links before starting (cross-job link contention plus any
         #: same-job overlap backlog)
         self.link_wait_seconds = 0.0
+        #: completion-attributed per-class link wait (the collective-class
+        #: sink of this fabric's streams: own-stream queueing plus
+        #: fair-sharing slowdown versus an idle link; the collapsed fast
+        #: path replays its stages into the same dict bit-for-bit)
+        self.link_wait_by_class: Dict[str, float] = {}
+        #: collapse attempts vetoed because loader/checkpoint (or another
+        #: tenant's non-collective) traffic was in flight on a link the
+        #: collective would use -- the fast path assumes idle links, so
+        #: cross-class contention deactivates it (counted, not silent)
+        self.collapse_cross_vetoes = 0
         #: seconds of delivery stall injected by partition windows
         self.partition_stall_seconds = 0.0
 
@@ -338,12 +352,18 @@ class RingFabric:
         predecessor = ring[position - 1]
         successor = ring[(position + 1) % world]
         chunk = phase.nbytes / world
-        link = self.topology.link(member, phase.scope)
+        stream = self.topology.stream(
+            member,
+            phase.scope,
+            cls="collective",
+            tenant=self,
+            sink=self.link_wait_by_class,
+        )
         for stage in range(world - 1):
-            backlog = link.backlog
+            backlog = stream.backlog
             if backlog > 0:
                 self.link_wait_seconds += backlog
-            send_done = link.transfer(chunk)
+            send_done = stream.transfer(chunk)
             mine = collective.delivery(stage, member)
             recv = collective.delivery(stage, predecessor)
             yield send_done
@@ -440,9 +460,13 @@ class RingFabric:
             # a partition window can open mid-walk; the representative
             # schedule cannot model a stalled cross-cut delivery
             return False
-        now = self.env.now
-        for pipe in self.topology._links.values():
-            if pipe._available_at > now:
+        for link in self.topology._links.values():
+            for busy in link.busy_streams():
+                if busy.cls != "collective":
+                    # loader/checkpoint traffic in flight on a shared
+                    # link: the closed form cannot price the fluid
+                    # cross-class interleaving -- deactivate, counted
+                    self.collapse_cross_vetoes += 1
                 return False
         return True
 
@@ -491,16 +515,28 @@ class RingFabric:
         entry.collapsed = True
         self.collapsed_collectives += 1
         # one representative rank's lockstep timeline; ``avail`` replicates
-        # its per-scope link watermark with BandwidthPipe.transfer's exact
-        # float arithmetic, so the resume instants match the simulation
-        # bit-for-bit
+        # its per-scope stream drain watermark with the SharedLink engine's
+        # exact float arithmetic, so the resume instants match the
+        # simulation bit-for-bit.  Each stage also replays the engine's
+        # completion-time per-class wait attribution: ``fanout`` member
+        # transfers, each adding the same fair-sharing ``excess`` the live
+        # path would have accumulated (in the same order, so float sums
+        # agree exactly with the uncollapsed run).
         avail: Dict[str, float] = {}
-        for stages, latency, stage_seconds, scope in schedule:
+        wait = self.link_wait_by_class
+        for stages, latency, stage_seconds, scope, fanout, excess in schedule:
             for _stage in range(stages):
                 now = self.env.now
                 start = max(now, avail.get(scope, now))
                 avail[scope] = start + stage_seconds
                 finish = start + latency + stage_seconds
+                if excess:
+                    for _ in range(fanout):
+                        wait["collective"] = wait.get("collective", 0.0) + excess
+                else:
+                    # zero excess still creates the key the live engine's
+                    # completion hook would have written
+                    wait["collective"] = wait.get("collective", 0.0)
                 yield self.env.timeout(finish - now)
         # defense in depth: a member removed mid-flight would have stalled
         # the simulated ring until its chunks filled in; never complete

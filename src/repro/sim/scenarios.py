@@ -227,6 +227,17 @@ class MixResult:
         return sum(res.link_contention_seconds for res in self.jobs)
 
     @property
+    def link_wait_by_class(self) -> Dict[str, float]:
+        """Mix-wide per-traffic-class link wait (seconds lost to queueing
+        plus fair-sharing slowdown), summed across tenants; each job's own
+        split stays on its :class:`DistributedResult`."""
+        total: Dict[str, float] = {}
+        for res in self.jobs:
+            for cls, secs in res.link_wait_by_class.items():
+                total[cls] = total.get(cls, 0.0) + secs
+        return total
+
+    @property
     def checkpoint_write_seconds(self) -> float:
         """Total snapshot-write seconds across tenants (per-tenant values
         on each job's result)."""
@@ -239,11 +250,17 @@ class MixResult:
 
     def summary(self) -> str:
         lines = [res.summary() for res in self.jobs]
-        lines.append(
+        mix_line = (
             f"mix: {len(self.jobs)} job(s), makespan {self.makespan:.2f}s, "
             f"contention {self.link_contention_seconds:.2f}s, "
             f"{self.sim_events} kernel events"
         )
+        by_class = self.link_wait_by_class
+        if by_class:
+            mix_line += " | link wait: " + " ".join(
+                f"{cls} {secs:.2f}s" for cls, secs in sorted(by_class.items())
+            )
+        lines.append(mix_line)
         return "\n".join(lines)
 
 

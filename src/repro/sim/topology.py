@@ -2,7 +2,7 @@
 
 This is the bottom layer of the synchronization stack: a
 :class:`Topology` owns the simulated links (one
-:class:`~repro.sim.resources.BandwidthPipe` per (member, scope)) and maps a
+:class:`~repro.sim.links.SharedLink` per physical link) and maps a
 membership snapshot onto the sequence of *ring phases* one all-reduce
 traverses.  The collective layer (:class:`~repro.sim.fabric.RingFabric`)
 executes those phases with ring ``reduce_scatter`` / ``all_gather``
@@ -25,12 +25,16 @@ Two topologies are provided:
   all-gather), so only ``1/G`` of the traffic ever crosses a NIC and the
   latency term pays ``2(N-1)`` inter-node hops instead of ``2(NG-1)``.
 
-The node's single NIC is shared by its ``G`` concurrent inter-node ring
-streams; we model the steady-state fair share (each stream's inter link
-gets ``bandwidth / G``) rather than per-chunk FIFO interleaving, which
-keeps every phase's dynamics exact against the hierarchical closed form
-(:meth:`~repro.sim.distributed.AllReduceModel.hierarchical_step_cost`) on
-homogeneous clusters.
+The node's single NIC is **one** full-bandwidth :class:`SharedLink`
+carrying a real per-(member, scope) :class:`~repro.sim.links.Stream` for
+each of the node's ``G`` concurrent inter-node ring streams -- plus the
+node's loader-miss and checkpoint streams under
+``Cluster(storage_over_nic=True)``.  Capacity is divided max-min fair
+among whichever streams have queued work, so ``G`` symmetric collective
+streams each see exactly the old steady-state ``bandwidth / G`` share
+(the closed form :meth:`collapse_schedule` still uses), while asymmetric
+or cross-class traffic gets the fluid interleaving the old fixed-share
+constant could not represent.
 """
 
 from __future__ import annotations
@@ -40,7 +44,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from .kernel import Environment
-from .resources import BandwidthPipe
+from .links import SharedLink, Stream
 
 __all__ = ["Topology", "FlatRing", "Hierarchical", "RingPhase", "TOPOLOGIES"]
 
@@ -67,38 +71,58 @@ class RingPhase:
 
 
 class Topology:
-    """Owns per-link pipes and plans the ring phases of one all-reduce."""
+    """Owns the shared links and plans the ring phases of one all-reduce."""
 
     kind = "abstract"
 
     def __init__(self, env: Environment) -> None:
         self.env = env
-        self._links: Dict[Tuple[str, Hashable], BandwidthPipe] = {}
+        self._links: Dict[Tuple[str, Hashable], SharedLink] = {}
 
     # -- links -------------------------------------------------------------
 
-    def link(self, member: Hashable, scope: str = "inter") -> BandwidthPipe:
-        """``member``'s outgoing link in ``scope`` (created on first use)."""
-        key = (scope, member)
-        pipe = self._links.get(key)
-        if pipe is None:
+    def link_key(self, member: Hashable, scope: str) -> Hashable:
+        """The physical-link identity ``member``'s ``scope`` traffic rides
+        on (several members may map onto one shared link)."""
+        return member
+
+    def link(self, member: Hashable, scope: str = "inter") -> SharedLink:
+        """The shared link serving ``member`` in ``scope`` (created on
+        first use)."""
+        key = (scope, self.link_key(member, scope))
+        link = self._links.get(key)
+        if link is None:
             bandwidth, latency = self.link_params(member, scope)
-            pipe = BandwidthPipe(self.env, bandwidth, latency, record=False)
-            self._links[key] = pipe
-        return pipe
+            link = SharedLink(self.env, bandwidth, latency)
+            self._links[key] = link
+        return link
+
+    def stream(
+        self,
+        member: Hashable,
+        scope: str = "inter",
+        cls: str = "collective",
+        tenant: Hashable = None,
+        sink=None,
+    ) -> Stream:
+        """``member``'s flow endpoint on its ``scope`` link, one per
+        (tenant, member, class) so concurrent jobs' traffic stays
+        separately attributed while contending on the same link."""
+        return self.link(member, scope).stream((tenant, member, cls), cls, sink)
 
     def link_params(self, member: Hashable, scope: str) -> Tuple[float, float]:
         """(bandwidth, latency) of ``member``'s outgoing ``scope`` link."""
         raise NotImplementedError
 
-    def nic_link(self, node: Hashable) -> BandwidthPipe:
-        """The node's inter-scope NIC pipe, addressed by node id.
+    def nic_link(self, node: Hashable) -> SharedLink:
+        """The node's inter-scope NIC link, addressed by node id.
 
         Ranks are ``(node, gpu)`` members; the node's non-collective
-        traffic (remote-storage loader reads under
-        ``Cluster(storage_over_nic=True)``) is served from rank
-        ``(node, 0)``'s inter link, so it queues behind -- and delays --
-        that rank's collective stream on the same pipe.
+        traffic (remote-storage loader reads and checkpoint writes under
+        ``Cluster(storage_over_nic=True)``) opens loader / checkpoint
+        class streams on the same shared link the node's collective
+        streams use, so cross-class traffic lowers -- and is slowed by --
+        the collectives' fair share.
         """
         return self.link((node, 0), "inter")
 
@@ -115,21 +139,28 @@ class Topology:
 
     def collapse_schedule(
         self, ring: Sequence[Hashable], nbytes: float
-    ) -> Optional[List[Tuple[int, float, float, str]]]:
+    ) -> Optional[List[Tuple[int, float, float, str, int, float]]]:
         """Stage schedule of a *collapsed* all-reduce, or ``None``.
 
         When every member of ``ring`` sees identical link parameters and
         identical phase structure (a homogeneous snapshot), a lockstep
         all-reduce advances every rank through the same per-stage timing:
         one representative rank's schedule is the whole collective.  The
-        return value is one ``(stages, latency, stage_seconds, scope)``
-        tuple per ring phase, where ``stage_seconds`` is the chunk's pipe
-        occupancy (``chunk / bandwidth``) computed with *exactly* the
-        arithmetic :meth:`~repro.sim.resources.BandwidthPipe.transfer`
+        return value is one ``(stages, latency, stage_seconds, scope,
+        fanout, excess_seconds)`` tuple per ring phase, where
+        ``stage_seconds`` is the chunk's link occupancy at the stream's
+        fair share (``chunk / share``) computed with *exactly* the
+        arithmetic the live :class:`~repro.sim.links.SharedLink` engine
         uses, so the fast path reproduces the simulated timestamps
-        bit-for-bit.  ``None`` means the snapshot is not collapsible
-        (heterogeneous links or asymmetric groups) and the caller must
-        simulate the full per-rank ring.
+        bit-for-bit.  ``fanout`` is the number of member transfers each
+        stage performs across the whole collective and ``excess_seconds``
+        the per-transfer fair-sharing slowdown versus an idle link
+        (``chunk / share - chunk / bandwidth``; zero for exclusive
+        stages) -- the fast path replays both into the per-class wait
+        accounting the live engine would have produced.  ``None`` means
+        the snapshot is not collapsible (heterogeneous links or
+        asymmetric groups) and the caller must simulate the full
+        per-rank ring.
         """
         return None
 
@@ -166,14 +197,15 @@ class FlatRing(Topology):
 
     def collapse_schedule(
         self, ring: Sequence[Hashable], nbytes: float
-    ) -> Optional[List[Tuple[int, float, float, str]]]:
+    ) -> Optional[List[Tuple[int, float, float, str, int, float]]]:
         # every member owns an identical NIC-class link, so a flat ring is
-        # always homogeneous: 2(W-1) stages of bytes/W chunks
+        # always homogeneous: 2(W-1) stages of bytes/W chunks, one
+        # exclusive stream per link (no sharing slowdown)
         world = len(ring)
         if world <= 1:
             return []
         chunk = nbytes / world
-        stage = (world - 1, self.latency, chunk / self.bandwidth, "inter")
+        stage = (world - 1, self.latency, chunk / self.bandwidth, "inter", world, 0.0)
         return [stage, stage]
 
 
@@ -243,9 +275,17 @@ class Hierarchical(Topology):
                 node, (self.intra_latency, self.intra_bandwidth)
             )
             return bandwidth, latency
-        # the node's G concurrent inter-node ring streams share its NIC:
-        # model the steady-state fair share per stream
-        return self.bandwidth / self.gpus_per_node, self.latency
+        # the node's single NIC at full bandwidth: its G concurrent
+        # inter-node ring streams (and any loader/checkpoint traffic)
+        # share it max-min fair on one SharedLink instead of each owning
+        # a fixed bandwidth/G slice
+        return self.bandwidth, self.latency
+
+    def link_key(self, member: Hashable, scope: str) -> Hashable:
+        if scope == "inter":
+            # every member of a node rides the node's one NIC link
+            return self._node_of(member)
+        return member
 
     @staticmethod
     def _node_of(member: Hashable) -> Hashable:
@@ -309,7 +349,7 @@ class Hierarchical(Topology):
 
     def collapse_schedule(
         self, ring: Sequence[Hashable], nbytes: float
-    ) -> Optional[List[Tuple[int, float, float, str]]]:
+    ) -> Optional[List[Tuple[int, float, float, str, int, float]]]:
         groups = self._groups(ring)
         sizes = {len(group) for group in groups.values()}
         if len(sizes) != 1:
@@ -328,7 +368,8 @@ class Hierarchical(Topology):
             return None
         intra_latency, intra_bandwidth = params.pop()
         n_nodes = len(groups)
-        schedule: List[Tuple[int, float, float, str]] = []
+        world = len(ring)
+        schedule: List[Tuple[int, float, float, str, int, float]] = []
         if group_size > 1:
             intra_chunk = nbytes / group_size
             intra_stage = (
@@ -336,16 +377,26 @@ class Hierarchical(Topology):
                 intra_latency,
                 intra_chunk / intra_bandwidth,
                 "intra",
+                world,
+                0.0,
             )
             schedule.append(intra_stage)  # rs-intra
         shard = nbytes / max(group_size, 1)
         if n_nodes > 1:
             inter_chunk = shard / n_nodes
+            # a symmetric snapshot keeps all G of a node's collective
+            # streams busy through every inter stage, so the live engine
+            # gives each exactly share = bandwidth / G; the excess term is
+            # the per-transfer slowdown it attributes versus an idle link
+            share = self.bandwidth / group_size
+            stage_seconds = inter_chunk / share
             inter_stage = (
                 n_nodes - 1,
                 self.latency,
-                inter_chunk / (self.bandwidth / self.gpus_per_node),
+                stage_seconds,
                 "inter",
+                world,
+                stage_seconds - inter_chunk / self.bandwidth,
             )
             schedule.append(inter_stage)  # rs-inter
             schedule.append(inter_stage)  # ag-inter

@@ -79,9 +79,11 @@ def run(
 
 
 def comparable(result):
-    """All result fields except the optimization-observability counters."""
+    """All result fields except the optimization-observability counters
+    (``collapse_cross_vetoes`` counts collapse *attempts* vetoed by
+    foreign link traffic, and the baseline never attempts)."""
     fields = dict(vars(result))
-    for name in ("collapsed_collectives", "sim_events"):
+    for name in ("collapsed_collectives", "sim_events", "collapse_cross_vetoes"):
         fields.pop(name)
     return fields
 
@@ -190,6 +192,99 @@ def test_kernel_configurations_agree_with_active_checkpoint(churn):
             f"{churn}: collapse={collapse} queue={queue} diverged from "
             f"exact heap with checkpointing active"
         )
+
+
+def run_contended(collapse=True, queue=None, checkpoint=None):
+    """A cross-class contention cell: hierarchical overlap with remote
+    storage, so loader misses (and checkpoint writes, when a policy is
+    armed) share each node's NIC link with the bucket collectives."""
+    workload = make_workload(
+        "image_segmentation", seed=0, dataset_size=6 * NODES
+    )
+    cluster = Cluster(
+        ClusterMembership(NODES, []),
+        CONFIG_A,
+        gpus_per_node=GPUS,
+        cache_fraction=0.6,
+        topology="hierarchical",
+        storage_over_nic=True,
+        queue=queue,
+    )
+    return run_elastic(
+        "minato",
+        workload,
+        CONFIG_A,
+        fabric="ring",
+        topology="hierarchical",
+        overlap=True,
+        buckets=2,
+        total_steps=STEPS_PER_GPU * NODES * GPUS,
+        collapse=collapse,
+        cluster=cluster,
+        checkpoint=checkpoint,
+    )
+
+
+def test_kernel_configurations_agree_under_cross_class_contention():
+    """The shared-link flow engine under genuine cross-class traffic --
+    loader misses and checkpoint writes contending with collectives on
+    every node's NIC -- must still be bit-identical across kernel
+    configurations, including the per-class wait attribution."""
+    policy = CheckpointPolicy(interval_steps=2, state_scale=8.0)
+    legacy = run_contended(collapse=False, queue="heap", checkpoint=policy)
+    reference = comparable(legacy)
+    # all three traffic classes flowed on the shared links, and the
+    # collectives measurably paid for the company
+    assert set(legacy.link_wait_by_class) == {
+        "collective", "loader", "checkpoint",
+    }
+    assert legacy.link_wait_by_class["collective"] > 0.0
+    for collapse, queue in ((True, None), (True, "heap"), (False, None)):
+        candidate = run_contended(
+            collapse=collapse, queue=queue, checkpoint=policy
+        )
+        assert comparable(candidate) == reference, (
+            f"collapse={collapse} queue={queue} diverged from exact heap "
+            f"under cross-class NIC contention"
+        )
+
+
+def test_collapse_vetoed_while_foreign_traffic_in_flight():
+    """While loader-class bytes are still draining on a link the
+    quiescent-collapse probe must refuse (counted in
+    ``collapse_cross_vetoes``), and the collective must still complete
+    exactly as the per-rank path would under the same contention."""
+    from repro.sim.distributed import AllReduceModel
+    from repro.sim.kernel import AllOf, Environment
+
+    def drive(collapse):
+        env = Environment()
+        model = AllReduceModel()
+        fabric = model.make_fabric(env, collapse=collapse)
+        members = list(range(4))
+        fabric.set_ring(members)
+        # a fat loader-class flow still draining on member 0's link when
+        # every rank enters the collective together
+        loader = fabric.topology.link(0).stream(
+            ("tenant", 0, "loader"), "loader"
+        )
+        loader.transfer(model.gradient_bytes * 8)
+
+        def participant(member):
+            yield from fabric.allreduce("step", member)
+
+        procs = [env.process(participant(m)) for m in members]
+        env.run(until=AllOf(env, procs))
+        return env.now, fabric
+
+    contended_end, fast = drive(collapse=True)
+    exact_end, exact = drive(collapse=False)
+    assert fast.collapse_cross_vetoes > 0
+    assert fast.collapsed_collectives == 0
+    assert contended_end == exact_end
+    assert fast.link_wait_by_class == exact.link_wait_by_class
+    # the shared flow genuinely slowed member 0's ring stream down
+    assert fast.link_wait_by_class["collective"] > 0.0
 
 
 @st.composite

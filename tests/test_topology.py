@@ -260,9 +260,13 @@ def test_topology_owns_distinct_link_classes():
     assert intra is not inter
     assert intra is topo.link((0, 0), "intra")  # cached per (scope, member)
     assert intra.bandwidth == INTRA_BANDWIDTH
-    # the node's G concurrent inter-ring streams share the NIC fairly
-    assert inter.bandwidth == pytest.approx(25e9 / 2)
+    # the NIC link carries its full bandwidth: fair sharing among the
+    # node's G concurrent inter-ring streams happens per-flow at run time
+    # (SharedLink max-min), not by pre-dividing the link's capacity
+    assert inter.bandwidth == 25e9
     assert inter.latency == 0.0015
+    # both members of the node resolve to the same physical NIC link
+    assert inter is topo.link((0, 1), "inter")
 
 
 def test_hierarchical_per_node_intra_overrides():
